@@ -1,0 +1,35 @@
+//! # satwatch-analytics
+//!
+//! The post-processing pipeline (paper §3.1): data enrichment,
+//! domain→service classification with the paper's Table 3 pattern
+//! language, aggregated views, and typed reports for every table and
+//! figure of the evaluation.
+//!
+//! * [`classify`] — Table 3 classifier + second-level-domain
+//!   extraction (two-label TLD aware).
+//! * [`agg`] — aggregation builders from monitor records to reports.
+//! * [`report`] — typed report structs with text renderers.
+//! * [`topdomains`] — the top-domain rankings behind the paper's
+//!   manual service-list curation.
+//! * [`ascii`] — terminal CDF charts and bars for the examples/CLI.
+//! * [`csv`] — plot-ready long-format CSV export, one emitter per figure.
+//!
+//! ```
+//! use satwatch_analytics::Classifier;
+//! use satwatch_traffic::Category;
+//!
+//! let classifier = Classifier::standard();
+//! let verdict = classifier.classify("rr4---sn-4g5e6nz7.googlevideo.com");
+//! assert_eq!(verdict, Some(("Youtube", Category::Video)));
+//! ```
+
+pub mod agg;
+pub mod ascii;
+pub mod classify;
+pub mod csv;
+pub mod report;
+pub mod topdomains;
+
+pub use agg::{customer_days, Enrichment};
+pub use classify::{second_level_domain, Classifier};
+pub use topdomains::{top_domains, TopDomains};

@@ -1,0 +1,64 @@
+//! Property tests for the analytics layer: the classifier and SLD
+//! extractor must be total (no panics, sane outputs) over arbitrary
+//! domain-ish strings, and pattern semantics must be consistent.
+
+use proptest::prelude::*;
+use satwatch_analytics::classify::{second_level_domain, Classifier, Pattern};
+
+proptest! {
+    #[test]
+    fn classifier_total_over_arbitrary_strings(s in "\\PC{0,80}") {
+        let c = Classifier::standard();
+        let _ = c.classify(&s); // must not panic
+    }
+
+    #[test]
+    fn classifier_total_over_domainish_strings(s in "[a-z0-9.-]{0,60}") {
+        let c = Classifier::standard();
+        let _ = c.classify(&s);
+        let sld = second_level_domain(&s);
+        prop_assert!(sld.len() <= s.len().max(1));
+    }
+
+    #[test]
+    fn sld_is_a_suffix_with_at_most_three_labels(
+        labels in proptest::collection::vec("[a-z0-9]{1,10}", 1..6)
+    ) {
+        let domain = labels.join(".");
+        let sld = second_level_domain(&domain);
+        prop_assert!(domain.ends_with(&sld), "{domain} vs {sld}");
+        prop_assert!(sld.split('.').count() <= 3);
+        prop_assert!(!sld.is_empty());
+        // idempotent
+        let twice = second_level_domain(&sld);
+        prop_assert_eq!(twice.as_str(), sld.as_str());
+    }
+
+    #[test]
+    fn suffix_pattern_never_matches_lookalikes(label in "[a-z]{1,10}") {
+        // `Suffix("sky.com")` must match x.sky.com but never whisky.com-style lookalikes
+        let p = Pattern::Suffix("sky.com");
+        let sub = format!("{label}.sky.com");
+        prop_assert!(p.matches(&sub));
+        let glued = format!("{label}sky.com");
+        if !label.is_empty() {
+            prop_assert!(!p.matches(&glued), "{glued}");
+        }
+    }
+
+    #[test]
+    fn subdomain_suffix_excludes_apex(label in "[a-z]{1,10}") {
+        let p = Pattern::SubdomainSuffix("example.org");
+        prop_assert!(!p.matches("example.org"));
+        let sub = format!("{label}.example.org");
+        prop_assert!(p.matches(&sub));
+    }
+
+    #[test]
+    fn classification_stable_under_case(s in "[a-zA-Z0-9.-]{1,40}") {
+        let c = Classifier::standard();
+        let lower = c.classify(&s.to_ascii_lowercase());
+        let upper = c.classify(&s.to_ascii_uppercase());
+        prop_assert_eq!(lower, upper);
+    }
+}

@@ -1,0 +1,168 @@
+//! Hot-path micro-benchmarks: the components a real deployment would
+//! size hardware for (the paper's probe processed 4.3 PB in real time
+//! on DPDK + two NICs — our equivalents must be cheap too).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use satwatch_analytics::Classifier;
+use satwatch_monitor::anon::CryptoPan;
+use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
+use satwatch_netstack::{dns, quic, tls, Packet, Subnet, TcpFlags, TcpHeader};
+use satwatch_simcore::{EventQueue, Rng, SimTime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn probe_packet_throughput(c: &mut Criterion) {
+    // Pre-build a realistic packet mix: handshakes, TLS, DNS, bulk.
+    let client = Ipv4Addr::new(10, 1, 2, 3);
+    let server = Ipv4Addr::new(198, 18, 0, 1);
+    let mut pkts: Vec<Packet> = Vec::new();
+    pkts.push(Packet::tcp_control(client, server, 50_000, 443, TcpFlags::SYN));
+    pkts.push(Packet::tcp_control(server, client, 443, 50_000, TcpFlags::SYN_ACK));
+    let mut h = TcpHeader::new(50_000, 443, TcpFlags::PSH_ACK);
+    h.seq = satwatch_netstack::SeqNum(1);
+    pkts.push(Packet::tcp(client, server, h.clone(), tls::client_hello("www.youtube.com", [1; 32])));
+    pkts.push(Packet::tcp(server, client, TcpHeader::new(443, 50_000, TcpFlags::PSH_ACK), tls::server_hello([2; 32])));
+    for _ in 0..12 {
+        pkts.push(Packet::tcp(
+            server,
+            client,
+            TcpHeader::new(443, 50_000, TcpFlags::PSH_ACK),
+            Bytes::from(vec![0u8; 1400]),
+        ));
+    }
+    let q = dns::DnsMessage::query(7, "play.googleapis.com", dns::RecordType::A);
+    pkts.push(Packet::udp(client, Ipv4Addr::new(8, 8, 8, 8), 40_000, 53, q.encode()));
+
+    let mut group = c.benchmark_group("probe");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.bench_function("observe_packet_mix", |b| {
+        b.iter_batched(
+            || Probe::new(ProbeConfig::new(FlowTableConfig::new(Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 8)))),
+            |mut probe| {
+                for (i, p) in pkts.iter().enumerate() {
+                    probe.observe(SimTime::from_nanos(i as u64 * 1000), p);
+                }
+                black_box(probe.active_flows())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn cryptopan_anonymize(c: &mut Criterion) {
+    let pan = CryptoPan::new(42);
+    let mut group = c.benchmark_group("anon");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("cryptopan_ipv4", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(0x0101_0101);
+            black_box(pan.anonymize(Ipv4Addr::from(i)))
+        })
+    });
+    group.finish();
+}
+
+fn dpi_sni_extraction(c: &mut Criterion) {
+    let ch = tls::client_hello("scontent-7.cdninstagram.com", [9; 32]);
+    let (rec, _) = tls::parse_record(&ch).unwrap();
+    c.bench_function("tls_extract_sni", |b| b.iter(|| black_box(tls::extract_sni(rec.body))));
+    let initial = quic::initial_with_sni(&[1, 2, 3, 4, 5, 6, 7, 8], &[9], "www.youtube.com", [3; 32]);
+    c.bench_function("quic_extract_sni", |b| b.iter(|| black_box(quic::extract_sni(&initial))));
+}
+
+fn dns_codec(c: &mut Criterion) {
+    let q = dns::DnsMessage::query(1, "ipv4-c012-lagg0.1.oca.nflxvideo.net", dns::RecordType::A);
+    let r = dns::DnsMessage::answer_a(&q, &[Ipv4Addr::new(198, 18, 1, 1), Ipv4Addr::new(198, 18, 1, 2)], 300);
+    let wire = r.encode();
+    c.bench_function("dns_encode_response", |b| b.iter(|| black_box(r.encode())));
+    c.bench_function("dns_parse_response", |b| b.iter(|| black_box(dns::DnsMessage::parse(&wire).unwrap())));
+}
+
+fn classifier_throughput(c: &mut Criterion) {
+    let classifier = Classifier::standard();
+    let domains = [
+        "audio-sp-7.pscdn.spotify.com",
+        "rr4---sn-4g5e6nz7.googlevideo.com",
+        "scontent-9.xx.fbcdn.net",
+        "media-3.cdn.whatsapp.net",
+        "unknown.domain.example.xyz",
+        "www.news24.co.za",
+    ];
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(domains.len() as u64));
+    group.bench_function("table3_classifier", |b| {
+        b.iter(|| {
+            for d in domains {
+                black_box(classifier.classify(d));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn event_queue_ops(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn satellite_channel_sampling(c: &mut Criterion) {
+    use satwatch_satcom::channel::default_peak_hour;
+    use satwatch_satcom::geo::places;
+    use satwatch_satcom::*;
+    let access = SatelliteAccess {
+        slot: places::SATELLITE,
+        gs_location: places::GROUND_STATION_ITALY,
+        mac: Mac::new(MacConfig::default()),
+        link: LinkModel::new(LinkConfig::default()),
+        pep: PepModel::new(PepConfig::default()),
+        peak_hour_by_country: default_peak_hour,
+        weather: None,
+    };
+    let beam = Beam {
+        id: BeamId(0),
+        name: "cd-0".into(),
+        country: "CD",
+        down_capacity: satwatch_simcore::BitRate::from_gbps(2),
+        up_capacity: satwatch_simcore::BitRate::from_mbps(600),
+        peak_utilization: 0.93,
+        night_utilization: 0.6,
+        pep_provisioning: 0.45,
+        impairment: 0.05,
+    };
+    let terminal = Terminal {
+        customer: CustomerId(0),
+        address: Ipv4Addr::new(10, 0, 0, 1),
+        country: "CD",
+        location: places::CONGO_KINSHASA,
+        beam: BeamId(0),
+        plan: Plan::Down10,
+        home_rtt: satwatch_simcore::SimDuration::from_millis(3),
+    };
+    let mut rng = Rng::new(5);
+    c.bench_function("segment_rtt_sample", |b| {
+        b.iter(|| black_box(access.segment_rtt(&mut rng, &beam, &terminal, 10, SimTime::from_secs(10 * 3600), false)))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default();
+    targets = probe_packet_throughput, cryptopan_anonymize, dpi_sni_extraction, dns_codec,
+              classifier_throughput, event_queue_ops, satellite_channel_sampling
+}
+criterion_main!(micro);

@@ -1,0 +1,452 @@
+//! Subcommand implementations for the `satwatch` binary.
+
+use crate::args::Args;
+use satwatch_errant::{export as errant_export, fit_profiles, leo, Period};
+use satwatch_monitor::record::write_flows;
+use satwatch_scenario::{experiments, run, Dataset, ScenarioConfig};
+use satwatch_traffic::Country;
+use std::error::Error;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+pub const USAGE: &str = "\
+usage: satwatch <command> [options]
+
+commands:
+  simulate    run a scenario and write TSV flow/DNS logs
+                --out DIR (default: satwatch-logs)
+                --pcap FILE [--snaplen N]   also write a pcap capture
+  replay      re-run the analyses over logs written by `simulate`
+                --logs DIR --figure {all|table1|…}
+  report      run a scenario and render figures/tables
+                --figure {all|table1|fig2|...|fig11|table2}
+                --csv DIR    also write plot-ready CSVs
+  profiles    fit and export ERRANT emulation profiles
+                --out FILE (default: stdout)
+  ablations   compare baseline vs A1/A2/A3 what-ifs
+  topdomains  rank second-level domains by volume and popularity
+                --n N (default 20)
+  paper-check run every paper-vs-measured shape check (EXPERIMENTS.md)
+  rules       print the Table 3 service-classification rule set
+  help        show this message
+
+scenario options (all commands):
+  --customers N          number of CPEs (default 300)
+  --days N               simulated days (default 1)
+  --seed N               root seed (default 42)
+  --no-pep               disable the split-TCP PEP (A3)
+  --african-gs           add an African ground station (A1)
+  --force-operator-dns   force the operator resolver (A2)";
+
+pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
+    if args.flag("help") || args.command == "help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    match args.command.as_str() {
+        "simulate" => simulate(args),
+        "replay" => replay(args),
+        "report" => report(args),
+        "profiles" => profiles(args),
+        "ablations" => ablations(args),
+        "topdomains" => topdomains(args),
+        "paper-check" => paper_check(args),
+        "rules" => {
+            print!("{}", satwatch_analytics::Classifier::standard().render_rules());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    }
+}
+
+fn scenario_from(args: &Args) -> Result<ScenarioConfig, Box<dyn Error>> {
+    let mut cfg = ScenarioConfig::tiny()
+        .with_customers(args.get_parsed("customers", 300u32)?)
+        .with_days(args.get_parsed("days", 1u64)?)
+        .with_seed(args.get_parsed("seed", 42u64)?);
+    if args.flag("no-pep") {
+        cfg = cfg.without_pep();
+    }
+    if args.flag("african-gs") {
+        cfg = cfg.with_african_ground_station();
+    }
+    if args.flag("force-operator-dns") {
+        cfg = cfg.with_forced_operator_dns();
+    }
+    Ok(cfg)
+}
+
+fn run_with_banner(cfg: ScenarioConfig) -> Dataset {
+    eprintln!(
+        "simulating {} customers × {} day(s), seed {} (pep={}, african_gs={}, forced_dns={}) …",
+        cfg.customers, cfg.days, cfg.seed, cfg.pep_enabled, cfg.african_ground_station, cfg.force_operator_dns
+    );
+    let t0 = std::time::Instant::now();
+    let ds = run(cfg);
+    eprintln!(
+        "done in {:.1?}: {} packets, {} flows, {} DNS transactions",
+        t0.elapsed(),
+        ds.packets,
+        ds.flows.len(),
+        ds.dns.len()
+    );
+    ds
+}
+
+fn simulate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = scenario_from(args)?;
+    let out_dir = args.get("out").unwrap_or("satwatch-logs");
+    let ds = match args.get("pcap") {
+        Some(path) => {
+            use satwatch_monitor::pcap::PcapWriter;
+            let snaplen: u32 = args.get_parsed("snaplen", 256u32)?;
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    fs::create_dir_all(parent)?;
+                }
+            }
+            let file = std::io::BufWriter::new(fs::File::create(path)?);
+            let mut writer = PcapWriter::new(file, snaplen)?;
+            eprintln!("capturing span traffic to {path} (snaplen {snaplen}) …");
+            let ds = satwatch_scenario::run_with_tap(cfg, |t, pkt| {
+                let _ = writer.write(t, pkt);
+            });
+            eprintln!("pcap: {} packets", writer.packets_written());
+            ds
+        }
+        None => run_with_banner(cfg),
+    };
+    fs::create_dir_all(out_dir)?;
+    let flow_path = Path::new(out_dir).join("flows.tsv");
+    let mut f = fs::File::create(&flow_path)?;
+    write_flows(&mut f, &ds.flows)?;
+    // DNS log: simple TSV
+    let dns_path = Path::new(out_dir).join("dns.tsv");
+    let mut d = fs::File::create(&dns_path)?;
+    writeln!(d, "client\tresolver\tquery\tts_ns\tresponse_ms\tanswers")?;
+    for rec in &ds.dns {
+        writeln!(
+            d,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            rec.client,
+            rec.resolver,
+            rec.query,
+            rec.ts.as_nanos(),
+            rec.response_ms.map_or("-".into(), |v| format!("{v:.3}")),
+            rec.answers.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
+        )?;
+    }
+    // enrichment map (anonymized address → country), as the operator
+    // would hand to the analysts
+    let enr_path = Path::new(out_dir).join("enrichment.tsv");
+    let mut e = fs::File::create(&enr_path)?;
+    writeln!(e, "client\tcountry\tbeam")?;
+    let mut rows: Vec<_> = ds.enrichment.country_of.iter().collect();
+    rows.sort_by_key(|(a, _)| **a);
+    for (addr, country) in rows {
+        let beam = ds.enrichment.beam_of.get(addr).copied().unwrap_or(u16::MAX);
+        writeln!(e, "{addr}\t{}\t{beam}", country.code())?;
+    }
+    eprintln!("wrote {}, {}, {}", flow_path.display(), dns_path.display(), enr_path.display());
+    Ok(())
+}
+
+fn report(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = scenario_from(args)?;
+    let which = args.get("figure").unwrap_or("all").to_ascii_lowercase();
+    let ds = run_with_banner(cfg);
+    let mut printed = false;
+    let mut want = |name: &str| {
+        let hit = which == "all" || which == name;
+        printed |= hit;
+        hit
+    };
+    if want("table1") {
+        println!("{}", experiments::table1(&ds).render());
+    }
+    if want("fig2") {
+        println!("{}", experiments::fig2(&ds).render());
+    }
+    if want("fig3") {
+        println!("{}", experiments::fig3(&ds).render());
+    }
+    if want("fig4") {
+        println!("{}", experiments::fig4(&ds).render());
+    }
+    if want("fig5") {
+        println!("{}", experiments::fig5(&ds).render());
+    }
+    if want("fig6") {
+        println!("{}", experiments::fig6(&ds).render());
+    }
+    if want("fig7") {
+        println!("{}", experiments::fig7(&ds).render());
+    }
+    if want("fig8a") {
+        println!("{}", experiments::fig8a(&ds).render());
+    }
+    if want("fig8b") {
+        println!("{}", experiments::fig8b(&ds).render());
+    }
+    if want("fig9") {
+        println!("{}", experiments::fig9(&ds).render());
+    }
+    if want("fig10") {
+        println!("{}", experiments::fig10(&ds).render());
+    }
+    if want("table2") {
+        println!("{}", experiments::table_cdn(&ds, 10).render());
+    }
+    if want("fig11") {
+        println!("{}", experiments::fig11(&ds).render());
+    }
+    if !printed {
+        return Err(format!("unknown figure {which:?} (try table1, fig2..fig11, table2, all)").into());
+    }
+    if let Some(dir) = args.get("csv") {
+        use satwatch_analytics::csv;
+        fs::create_dir_all(dir)?;
+        let d = Path::new(dir);
+        fs::write(d.join("table1.csv"), csv::table1_csv(&experiments::table1(&ds)))?;
+        fs::write(d.join("fig2.csv"), csv::fig2_csv(&experiments::fig2(&ds)))?;
+        fs::write(d.join("fig3.csv"), csv::fig3_csv(&experiments::fig3(&ds)))?;
+        fs::write(d.join("fig4.csv"), csv::fig4_csv(&experiments::fig4(&ds)))?;
+        fs::write(d.join("fig5.csv"), csv::fig5_csv(&experiments::fig5(&ds), 200))?;
+        fs::write(d.join("fig6.csv"), csv::fig6_csv(&experiments::fig6(&ds)))?;
+        fs::write(d.join("fig7.csv"), csv::fig7_csv(&experiments::fig7(&ds)))?;
+        fs::write(d.join("fig8a.csv"), csv::fig8a_csv(&experiments::fig8a(&ds), 200))?;
+        fs::write(d.join("fig8b.csv"), csv::fig8b_csv(&experiments::fig8b(&ds)))?;
+        fs::write(d.join("fig9.csv"), csv::fig9_csv(&experiments::fig9(&ds), 200))?;
+        fs::write(d.join("fig10.csv"), csv::fig10_csv(&experiments::fig10(&ds)))?;
+        fs::write(d.join("table2.csv"), csv::table_cdn_csv(&experiments::table_cdn(&ds, 5)))?;
+        fs::write(d.join("fig11.csv"), csv::fig11_csv(&experiments::fig11(&ds), 200))?;
+        eprintln!("wrote 13 CSV files to {dir}");
+    }
+    Ok(())
+}
+
+fn profiles(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = scenario_from(args)?;
+    let ds = run_with_banner(cfg);
+    let mut profiles = fit_profiles(&ds.flows, &ds.enrichment, &Country::TOP6);
+    profiles.push(leo::starlink_reference(Period::Night));
+    profiles.push(leo::starlink_reference(Period::Peak));
+    let text = errant_export::export(&profiles);
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, &text)?;
+            eprintln!("wrote {} profiles to {path}", profiles.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn topdomains(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = scenario_from(args)?;
+    let n = args.get_parsed("n", 20usize)?;
+    let ds = run_with_banner(cfg);
+    let classifier = satwatch_analytics::Classifier::standard();
+    let top = satwatch_analytics::top_domains(&ds.flows, &classifier, n);
+    print!("{}", satwatch_analytics::topdomains::render(&top));
+    Ok(())
+}
+
+fn replay(args: &Args) -> Result<(), Box<dyn Error>> {
+    use satwatch_analytics::agg::Enrichment;
+    use satwatch_monitor::record::read_flows;
+    use satwatch_monitor::DnsRecord;
+    use satwatch_simcore::SimTime;
+    let dir = args.get("logs").ok_or("replay needs --logs DIR (from `simulate --out DIR`)")?;
+    let d = Path::new(dir);
+    let flows = read_flows(std::io::BufReader::new(fs::File::open(d.join("flows.tsv"))?))?;
+    // DNS log
+    let mut dns = Vec::new();
+    for (i, line) in fs::read_to_string(d.join("dns.tsv"))?.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 6 {
+            return Err(format!("dns.tsv line {}: expected 6 fields", i + 1).into());
+        }
+        dns.push(DnsRecord {
+            client: f[0].parse()?,
+            resolver: f[1].parse()?,
+            query: f[2].to_string(),
+            ts: SimTime::from_nanos(f[3].parse()?),
+            response_ms: if f[4] == "-" { None } else { Some(f[4].parse()?) },
+            answers: if f[5].is_empty() {
+                Vec::new()
+            } else {
+                f[5].split(',').map(|a| a.parse()).collect::<Result<_, _>>()?
+            },
+        });
+    }
+    // enrichment
+    let mut enr = Enrichment::default();
+    let mut max_day = 0u64;
+    for (i, line) in fs::read_to_string(d.join("enrichment.tsv"))?.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 3 {
+            return Err(format!("enrichment.tsv line {}: expected 3 fields", i + 1).into());
+        }
+        let addr: std::net::Ipv4Addr = f[0].parse()?;
+        let country = Country::from_code(f[1]).ok_or_else(|| format!("unknown country {}", f[1]))?;
+        enr.country_of.insert(addr, country);
+        if let Ok(beam) = f[2].parse::<u16>() {
+            enr.beam_of.insert(addr, beam);
+        }
+    }
+    for f in &flows {
+        max_day = max_day.max(f.first.day());
+    }
+    enr.days = max_day + 1;
+    // beams are not persisted; Fig 8b is unavailable on replay
+    let ds = Dataset { flows, dns, enrichment: enr, packets: 0 };
+    eprintln!("replaying {} flows / {} DNS transactions from {dir}", ds.flows.len(), ds.dns.len());
+    let which = args.get("figure").unwrap_or("all").to_ascii_lowercase();
+    if which == "all" || which == "table1" {
+        println!("{}", experiments::table1(&ds).render());
+    }
+    if which == "all" || which == "fig2" {
+        println!("{}", experiments::fig2(&ds).render());
+    }
+    if which == "all" || which == "fig9" {
+        println!("{}", experiments::fig9(&ds).render());
+    }
+    if which == "all" || which == "fig10" {
+        println!("{}", experiments::fig10(&ds).render());
+    }
+    if which == "all" || which == "fig11" {
+        println!("{}", experiments::fig11(&ds).render());
+    }
+    Ok(())
+}
+
+fn paper_check(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = scenario_from(args)?;
+    let ds = run_with_banner(cfg);
+    let rows = satwatch_scenario::paper_check::check_all(&ds);
+    print!("{}", satwatch_scenario::paper_check::render(&rows));
+    let failed = rows.iter().filter(|r| !r.pass).count();
+    if failed > 0 {
+        return Err(format!("{failed} checks failed").into());
+    }
+    Ok(())
+}
+
+fn ablations(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = scenario_from(args)?;
+    eprintln!("running 4 scenarios (baseline + A1 + A2 + A3) …");
+    let base = experiments::ablation_summary(&run(cfg));
+    let no_pep = experiments::ablation_summary(&run(cfg.without_pep()));
+    let af = experiments::ablation_summary(&run(cfg.with_african_ground_station()));
+    let dns = experiments::ablation_summary(&run(cfg.with_forced_operator_dns()));
+    println!("{:<34} {:>10} {:>10} {:>10} {:>10}", "metric", "baseline", "no PEP", "African GS", "op DNS");
+    println!(
+        "{:<34} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+        "TLS time-to-first-byte (s)", base.ttfb_s, no_pep.ttfb_s, af.ttfb_s, dns.ttfb_s
+    );
+    println!(
+        "{:<34} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+        "African ground RTT median (ms)",
+        base.african_ground_rtt_ms,
+        no_pep.african_ground_rtt_ms,
+        af.african_ground_rtt_ms,
+        dns.african_ground_rtt_ms
+    );
+    println!(
+        "{:<34} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+        "DNS response median (ms)", base.dns_median_ms, no_pep.dns_median_ms, af.dns_median_ms, dns.dns_median_ms
+    );
+    println!(
+        "{:<34} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+        "satellite RTT median (ms)",
+        base.sat_rtt_median_ms,
+        no_pep.sat_rtt_median_ms,
+        af.sat_rtt_median_ms,
+        dns.sat_rtt_median_ms
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn scenario_options_flow_through() {
+        let a = parse(&["report", "--customers", "25", "--days", "2", "--seed", "9", "--no-pep", "--african-gs"]);
+        let cfg = scenario_from(&a).unwrap();
+        assert_eq!(cfg.customers, 25);
+        assert_eq!(cfg.days, 2);
+        assert_eq!(cfg.seed, 9);
+        assert!(!cfg.pep_enabled);
+        assert!(cfg.african_ground_station);
+        assert!(!cfg.force_operator_dns);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let a = parse(&["frobnicate"]);
+        assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn help_always_succeeds() {
+        assert!(dispatch(&parse(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn simulate_writes_logs() {
+        let dir = std::env::temp_dir().join(format!("satwatch-cli-test-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        let a = parse(&["simulate", "--customers", "12", "--seed", "3", "--out", &dir_s]);
+        dispatch(&a).unwrap();
+        let flows = std::fs::read_to_string(dir.join("flows.tsv")).unwrap();
+        assert!(flows.lines().count() > 100, "flow log has rows");
+        assert!(flows.starts_with("client\t"));
+        let dns = std::fs::read_to_string(dir.join("dns.tsv")).unwrap();
+        assert!(dns.lines().count() > 10);
+        let enr = std::fs::read_to_string(dir.join("enrichment.tsv")).unwrap();
+        // header + at least one customer per country (per-country
+        // rounding can add a few above the requested 12)
+        assert!(enr.lines().count() >= 13, "{}", enr.lines().count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_then_replay_round_trips() {
+        let dir = std::env::temp_dir().join(format!("satwatch-replay-test-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        let pcap = dir.join("span.pcap");
+        let a = parse(&[
+            "simulate", "--customers", "15", "--seed", "4", "--out", &dir_s,
+            "--pcap", pcap.to_str().unwrap(), "--snaplen", "128",
+        ]);
+        dispatch(&a).unwrap();
+        // the pcap is a valid capture
+        let recs = satwatch_monitor::pcap::read_pcap(std::fs::File::open(&pcap).unwrap()).unwrap();
+        assert!(recs.len() > 1_000);
+        assert!(recs[0].parse().is_ok());
+        // and the logs replay into the same Table 1
+        let r = parse(&["replay", "--logs", &dir_s, "--figure", "table1"]);
+        dispatch(&r).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_rejects_unknown_figure() {
+        let a = parse(&["report", "--customers", "10", "--figure", "fig99"]);
+        assert!(dispatch(&a).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! `satwatch` — command-line driver for the workspace.
+//!
+//! ```text
+//! satwatch simulate  --customers 500 --days 1 --seed 42 --out logs/   # run + write TSV logs
+//! satwatch report    --customers 500 --figure all                     # run + render figures
+//! satwatch profiles  --customers 500 --out geo.profile                # fit ERRANT profiles
+//! satwatch ablations --customers 200                                  # A1/A2/A3 comparison
+//! satwatch help
+//! ```
+//!
+//! Scenario knobs everywhere: `--customers N --days N --seed N
+//! [--no-pep] [--african-gs] [--force-operator-dns]`.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

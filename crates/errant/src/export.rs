@@ -1,0 +1,129 @@
+//! ERRANT-style profile export.
+//!
+//! The format mirrors the shape of ERRANT model files: one block per
+//! profile with netem-compatible parameters (delay as a distribution,
+//! rate limits). Plain text, stable field order, round-trip parseable.
+
+use crate::model::{EmulationProfile, Period};
+use satwatch_simcore::dist::LogNormal;
+use satwatch_traffic::Country;
+use std::fmt::Write as _;
+
+/// Render profiles to the export format.
+pub fn export(profiles: &[EmulationProfile]) -> String {
+    let mut s = String::from("# satwatch ERRANT-style emulation profiles\n# fields: rtt in ms (lognormal), rates in Mb/s\n");
+    for p in profiles {
+        let _ = writeln!(s, "[profile {}]", p.name);
+        if let Some(c) = p.country {
+            let _ = writeln!(s, "country = {}", c.code());
+        }
+        let _ = writeln!(s, "period = {}", p.period.label());
+        let _ = writeln!(s, "rtt_median_ms = {:.3}", p.median_rtt_ms());
+        let _ = writeln!(s, "rtt_sigma = {:.4}", p.rtt_ms.sigma);
+        let _ = writeln!(s, "rtt_p95_ms = {:.3}", p.p95_rtt_ms());
+        let _ = writeln!(s, "download_mbps = {:.3}", p.download_mbps);
+        let _ = writeln!(s, "upload_mbps = {:.3}", p.upload_mbps);
+        let _ = writeln!(s, "samples = {}", p.samples);
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse profiles back from the export format (tooling round trips).
+pub fn parse(text: &str) -> Result<Vec<EmulationProfile>, String> {
+    let mut out = Vec::new();
+    let mut cur: Option<EmulationProfile> = None;
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[profile ").and_then(|l| l.strip_suffix(']')) {
+            if let Some(p) = cur.take() {
+                out.push(p);
+            }
+            cur = Some(EmulationProfile {
+                name: name.to_string(),
+                country: None,
+                period: Period::Night,
+                rtt_ms: LogNormal::from_median(1.0, 0.1),
+                download_mbps: 0.0,
+                upload_mbps: 0.0,
+                samples: 0,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected key = value", no + 1));
+        };
+        let p = cur.as_mut().ok_or_else(|| format!("line {}: field outside profile", no + 1))?;
+        let key = key.trim();
+        let value = value.trim();
+        let parse_f = |v: &str| v.parse::<f64>().map_err(|e| format!("line {}: {e}", no + 1));
+        match key {
+            "country" => p.country = Country::from_code(value),
+            "period" => {
+                p.period = if value == "peak" { Period::Peak } else { Period::Night };
+            }
+            "rtt_median_ms" => {
+                let med = parse_f(value)?;
+                p.rtt_ms = LogNormal::from_median(med.max(1e-9), p.rtt_ms.sigma);
+            }
+            "rtt_sigma" => {
+                let sigma = parse_f(value)?;
+                p.rtt_ms = LogNormal::new(p.rtt_ms.mu, sigma.max(0.0));
+            }
+            "rtt_p95_ms" => {} // derived
+            "download_mbps" => p.download_mbps = parse_f(value)?,
+            "upload_mbps" => p.upload_mbps = parse_f(value)?,
+            "samples" => p.samples = value.parse().map_err(|e| format!("line {}: {e}", no + 1))?,
+            other => return Err(format!("line {}: unknown key {other}", no + 1)),
+        }
+    }
+    if let Some(p) = cur.take() {
+        out.push(p);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leo::starlink_reference;
+
+    #[test]
+    fn export_parse_round_trip() {
+        let profiles = vec![
+            starlink_reference(Period::Night),
+            EmulationProfile {
+                name: "geo-satcom-CD-peak".into(),
+                country: Some(Country::Congo),
+                period: Period::Peak,
+                rtt_ms: LogNormal::from_median(1250.0, 0.7),
+                download_mbps: 7.8,
+                upload_mbps: 2.1,
+                samples: 420,
+            },
+        ];
+        let text = export(&profiles);
+        assert!(text.contains("[profile geo-satcom-CD-peak]"));
+        assert!(text.contains("country = CD"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        let cd = &back[1];
+        assert_eq!(cd.country, Some(Country::Congo));
+        assert_eq!(cd.period, Period::Peak);
+        assert!((cd.median_rtt_ms() - 1250.0).abs() < 0.01);
+        assert!((cd.rtt_ms.sigma - 0.7).abs() < 0.001);
+        assert!((cd.download_mbps - 7.8).abs() < 1e-9);
+        assert_eq!(cd.samples, 420);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("foo = 1").is_err());
+        assert!(parse("[profile x]\nbogus_key = 2").is_err());
+        assert!(parse("[profile x]\nnot a kv line").is_err());
+        assert_eq!(parse("# only comments\n").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Starlink-like LEO reference profile, for GEO-vs-LEO comparisons.
+//!
+//! The paper's artifact section points users at ERRANT with Starlink
+//! data from Michel et al., *A First Look at Starlink Performance*
+//! (IMC 2022): median RTT around 40 ms with tail excursions under
+//! load, and ~100–200 Mb/s downlink. These constants parameterise the
+//! reference profile; they are cited measurements, not simulated.
+
+use crate::model::{EmulationProfile, Period};
+use satwatch_simcore::dist::LogNormal;
+
+/// Build the Starlink-like LEO reference profile.
+pub fn starlink_reference(period: Period) -> EmulationProfile {
+    let (median_ms, sigma, down) = match period {
+        Period::Night => (38.0, 0.25, 180.0),
+        Period::Peak => (48.0, 0.40, 110.0),
+    };
+    EmulationProfile {
+        name: format!("leo-starlink-{}", period.label()),
+        country: None,
+        period,
+        rtt_ms: LogNormal::from_median(median_ms, sigma),
+        download_mbps: down,
+        upload_mbps: 12.0,
+        samples: 0,
+    }
+}
+
+/// Headline comparison numbers: (GEO median RTT / LEO median RTT,
+/// LEO down / GEO down) — the "who wins by what factor" summary.
+pub fn geo_vs_leo(geo: &EmulationProfile, leo: &EmulationProfile) -> (f64, f64) {
+    (
+        geo.median_rtt_ms() / leo.median_rtt_ms(),
+        if geo.download_mbps > 0.0 { leo.download_mbps / geo.download_mbps } else { f64::INFINITY },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starlink_profile_sane() {
+        let night = starlink_reference(Period::Night);
+        let peak = starlink_reference(Period::Peak);
+        assert!(night.median_rtt_ms() < peak.median_rtt_ms());
+        assert!(night.median_rtt_ms() < 60.0);
+        assert!(night.download_mbps > peak.download_mbps);
+    }
+
+    #[test]
+    fn geo_loses_on_rtt_by_an_order_of_magnitude() {
+        let geo = EmulationProfile {
+            name: "geo-test".into(),
+            country: None,
+            period: Period::Night,
+            rtt_ms: LogNormal::from_median(620.0, 0.3),
+            download_mbps: 28.0,
+            upload_mbps: 4.0,
+            samples: 10,
+        };
+        let leo = starlink_reference(Period::Night);
+        let (rtt_ratio, rate_ratio) = geo_vs_leo(&geo, &leo);
+        assert!(rtt_ratio > 10.0, "{rtt_ratio}");
+        assert!(rate_ratio > 3.0, "{rate_ratio}");
+    }
+}

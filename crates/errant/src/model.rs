@@ -1,0 +1,77 @@
+//! Emulation profile types.
+//!
+//! An ERRANT profile describes one access-network condition as netem
+//! parameters: an RTT distribution plus download/upload rate limits.
+//! We fit one profile per (country, period), which is exactly the
+//! granularity at which the paper shows conditions differ (Fig 8a,
+//! Fig 11b).
+
+use satwatch_simcore::dist::LogNormal;
+use satwatch_traffic::Country;
+
+/// Time-of-day period of a profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Period {
+    /// 2:00–5:00 local.
+    Night,
+    /// 13:00–20:00 local.
+    Peak,
+}
+
+impl Period {
+    pub fn label(self) -> &'static str {
+        match self {
+            Period::Night => "night",
+            Period::Peak => "peak",
+        }
+    }
+}
+
+/// A fitted emulation profile.
+#[derive(Clone, Debug)]
+pub struct EmulationProfile {
+    /// Human-readable technology/market label, e.g. `"geo-satcom-CD"`.
+    pub name: String,
+    pub country: Option<Country>,
+    pub period: Period,
+    /// Fitted end-to-end RTT model (milliseconds).
+    pub rtt_ms: LogNormal,
+    /// Observed download rate cap (Mb/s, ~95th percentile of flows).
+    pub download_mbps: f64,
+    /// Observed upload rate cap (Mb/s).
+    pub upload_mbps: f64,
+    /// RTT samples the fit consumed.
+    pub samples: usize,
+}
+
+impl EmulationProfile {
+    pub fn median_rtt_ms(&self) -> f64 {
+        self.rtt_ms.quantile(0.5)
+    }
+
+    pub fn p95_rtt_ms(&self) -> f64 {
+        self.rtt_ms.quantile(0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_consistent() {
+        let p = EmulationProfile {
+            name: "test".into(),
+            country: Some(Country::Spain),
+            period: Period::Night,
+            rtt_ms: LogNormal::from_median(600.0, 0.3),
+            download_mbps: 28.0,
+            upload_mbps: 4.5,
+            samples: 100,
+        };
+        assert!((p.median_rtt_ms() - 600.0).abs() < 1e-6);
+        assert!(p.p95_rtt_ms() > p.median_rtt_ms());
+        assert_eq!(Period::Night.label(), "night");
+        assert_eq!(Period::Peak.label(), "peak");
+    }
+}

@@ -1,0 +1,126 @@
+//! Linux `tc`/netem script generation from emulation profiles.
+//!
+//! ERRANT's artifact is consumed by replaying profiles through
+//! netem/tbf on a Linux veth pair; this module emits the equivalent
+//! shell script for any fitted [`EmulationProfile`], so the exported
+//! GEO model can be applied to a real interface:
+//!
+//! ```text
+//! tc qdisc add dev veth0 root handle 1: netem delay 310ms 45ms distribution normal
+//! tc qdisc add dev veth0 parent 1: handle 2: tbf rate 8mbit burst 64kb latency 400ms
+//! ```
+//!
+//! netem wants *one-way* delay with a jitter term; we halve the fitted
+//! RTT and derive jitter from the log-normal's dispersion.
+
+use crate::model::EmulationProfile;
+use std::fmt::Write as _;
+
+/// Parameters netem needs for one direction of one profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetemParams {
+    /// Mean one-way delay, ms.
+    pub delay_ms: f64,
+    /// Jitter (± one sigma of the one-way delay), ms.
+    pub jitter_ms: f64,
+    /// Downlink rate cap, Mb/s.
+    pub down_mbps: f64,
+    /// Uplink rate cap, Mb/s.
+    pub up_mbps: f64,
+}
+
+/// Derive netem parameters from a fitted profile.
+pub fn params(profile: &EmulationProfile) -> NetemParams {
+    let median = profile.median_rtt_ms();
+    // one-sigma point of the log-normal, as an absolute spread
+    let p84 = profile.rtt_ms.quantile(0.841_344_7);
+    NetemParams {
+        delay_ms: median / 2.0,
+        jitter_ms: ((p84 - median) / 2.0).max(0.0),
+        down_mbps: profile.download_mbps.max(0.1),
+        up_mbps: profile.upload_mbps.max(0.1),
+    }
+}
+
+/// Emit a ready-to-run shell script applying `profile` to the pair
+/// `(down_dev, up_dev)` (e.g. the two ends of a veth).
+pub fn script(profile: &EmulationProfile, down_dev: &str, up_dev: &str) -> String {
+    let p = params(profile);
+    let mut s = String::new();
+    let _ = writeln!(s, "#!/bin/sh");
+    let _ = writeln!(s, "# profile: {} (median RTT {:.0} ms, p95 {:.0} ms)", profile.name, profile.median_rtt_ms(), profile.p95_rtt_ms());
+    let _ = writeln!(s, "set -e");
+    for dev in [down_dev, up_dev] {
+        let _ = writeln!(s, "tc qdisc del dev {dev} root 2>/dev/null || true");
+    }
+    let _ = writeln!(
+        s,
+        "tc qdisc add dev {down_dev} root handle 1: netem delay {:.0}ms {:.0}ms distribution normal",
+        p.delay_ms, p.jitter_ms
+    );
+    let _ = writeln!(
+        s,
+        "tc qdisc add dev {down_dev} parent 1: handle 2: tbf rate {:.1}mbit burst 64kb latency 400ms",
+        p.down_mbps
+    );
+    let _ = writeln!(
+        s,
+        "tc qdisc add dev {up_dev} root handle 1: netem delay {:.0}ms {:.0}ms distribution normal",
+        p.delay_ms, p.jitter_ms
+    );
+    let _ = writeln!(
+        s,
+        "tc qdisc add dev {up_dev} parent 1: handle 2: tbf rate {:.1}mbit burst 32kb latency 400ms",
+        p.up_mbps
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Period;
+    use satwatch_simcore::dist::LogNormal;
+    use satwatch_traffic::Country;
+
+    fn profile() -> EmulationProfile {
+        EmulationProfile {
+            name: "geo-satcom-ES-night".into(),
+            country: Some(Country::Spain),
+            period: Period::Night,
+            rtt_ms: LogNormal::from_median(620.0, 0.25),
+            download_mbps: 28.0,
+            upload_mbps: 4.2,
+            samples: 1000,
+        }
+    }
+
+    #[test]
+    fn params_halve_rtt() {
+        let p = params(&profile());
+        assert!((p.delay_ms - 310.0).abs() < 0.01);
+        assert!(p.jitter_ms > 0.0 && p.jitter_ms < p.delay_ms);
+        assert!((p.down_mbps - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn script_contains_expected_commands() {
+        let s = script(&profile(), "veth0", "veth1");
+        assert!(s.starts_with("#!/bin/sh"));
+        assert!(s.contains("netem delay 310ms"));
+        assert!(s.contains("tbf rate 28.0mbit"));
+        assert!(s.contains("tbf rate 4.2mbit"));
+        assert!(s.contains("dev veth0"));
+        assert!(s.contains("dev veth1"));
+        assert!(s.contains("qdisc del"), "idempotent cleanup first");
+    }
+
+    #[test]
+    fn degenerate_rates_floored() {
+        let mut p = profile();
+        p.download_mbps = 0.0;
+        p.upload_mbps = 0.0;
+        let n = params(&p);
+        assert!(n.down_mbps >= 0.1 && n.up_mbps >= 0.1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # satwatch-internet
+//!
+//! The terrestrial internet behind the ground station: regions with a
+//! measurement-anchored latency model, CDN operators with DNS-based
+//! and anycast server selection, the open-resolver catalog with its
+//! client-hint behaviours, and deterministic server addressing.
+//!
+//! Everything the paper's §6.2–§6.4 findings depend on lives here:
+//! the Fig 9 RTT bumps, the resolver response times of Fig 10, and the
+//! selection confusion of Table 2/4/5.
+
+pub mod cdn;
+pub mod region;
+pub mod resolver;
+pub mod server;
+
+pub use cdn::{CdnCatalog, CdnId, CdnOperator, Hosting, SelectionPolicy};
+pub use region::Region;
+pub use resolver::{ClientHintPolicy, ResolverId};

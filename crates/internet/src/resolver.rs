@@ -1,0 +1,249 @@
+//! Open DNS resolver catalog and behaviour (paper §6.3, Fig 10).
+//!
+//! SatCom customers mostly ignore the operator resolver and point
+//! their devices at open resolvers — including Chinese (Baidu, 114DNS)
+//! and Nigerian ones whose responses must cross the planet *after*
+//! already crossing the satellite. Each resolver here carries:
+//!
+//! * the anycast/unicast address customers configure,
+//! * the region its answering site occupies as seen from the ground
+//!   station (which sets the response time the monitor measures), and
+//! * the *client hint* it gives CDNs during resolution, which drives
+//!   the server-selection confusion of §6.4 / Table 2.
+
+use crate::region::Region;
+use satwatch_simcore::dist::{LogNormal, Sample};
+use satwatch_simcore::{Rng, SimDuration};
+use std::net::Ipv4Addr;
+
+/// The resolvers the paper breaks out, plus an aggregate "Other".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResolverId {
+    OperatorEu,
+    Google,
+    Cloudflare,
+    Nigerian,
+    OpenDns,
+    Level3,
+    Baidu,
+    Dns114,
+    Yandex,
+    Aliyun,
+    Norton,
+    Other,
+}
+
+impl ResolverId {
+    pub const ALL: [ResolverId; 12] = [
+        ResolverId::OperatorEu,
+        ResolverId::Google,
+        ResolverId::Cloudflare,
+        ResolverId::Nigerian,
+        ResolverId::OpenDns,
+        ResolverId::Level3,
+        ResolverId::Baidu,
+        ResolverId::Dns114,
+        ResolverId::Yandex,
+        ResolverId::Aliyun,
+        ResolverId::Norton,
+        ResolverId::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolverId::OperatorEu => "Operator-EU",
+            ResolverId::Google => "Google",
+            ResolverId::Cloudflare => "CloudFlare",
+            ResolverId::Nigerian => "Nigerian",
+            ResolverId::OpenDns => "Open DNS",
+            ResolverId::Level3 => "Level3",
+            ResolverId::Baidu => "Baidu",
+            ResolverId::Dns114 => "114DNS",
+            ResolverId::Yandex => "Yandex",
+            ResolverId::Aliyun => "Aliyun",
+            ResolverId::Norton => "Norton",
+            ResolverId::Other => "Other",
+        }
+    }
+
+    /// The well-known service address customers configure.
+    pub fn address(self) -> Ipv4Addr {
+        match self {
+            ResolverId::OperatorEu => Ipv4Addr::new(185, 80, 0, 53),
+            ResolverId::Google => Ipv4Addr::new(8, 8, 8, 8),
+            ResolverId::Cloudflare => Ipv4Addr::new(1, 1, 1, 1),
+            ResolverId::Nigerian => Ipv4Addr::new(197, 210, 30, 53),
+            ResolverId::OpenDns => Ipv4Addr::new(208, 67, 222, 222),
+            ResolverId::Level3 => Ipv4Addr::new(4, 2, 2, 2),
+            ResolverId::Baidu => Ipv4Addr::new(180, 76, 76, 76),
+            ResolverId::Dns114 => Ipv4Addr::new(114, 114, 114, 114),
+            ResolverId::Yandex => Ipv4Addr::new(77, 88, 8, 8),
+            ResolverId::Aliyun => Ipv4Addr::new(223, 5, 5, 5),
+            ResolverId::Norton => Ipv4Addr::new(199, 85, 126, 10),
+            ResolverId::Other => Ipv4Addr::new(9, 9, 9, 9),
+        }
+    }
+
+    pub fn from_address(addr: Ipv4Addr) -> Option<ResolverId> {
+        ResolverId::ALL.into_iter().find(|r| r.address() == addr)
+    }
+
+    /// Region of the site that answers a query arriving from the
+    /// Italian ground station. Anycast resolvers (Google, Cloudflare,
+    /// OpenDNS, Level3) answer from a European site; unicast or
+    /// geo-fenced ones answer from home.
+    pub fn site_region(self) -> Region {
+        match self {
+            ResolverId::OperatorEu => Region::PeeringCdn, // co-located
+            ResolverId::Google | ResolverId::Cloudflare | ResolverId::OpenDns => Region::EuropeSouth,
+            ResolverId::Level3 | ResolverId::Norton | ResolverId::Other => Region::EuropeWest,
+            ResolverId::Yandex => Region::EuropeFar,
+            ResolverId::Nigerian => Region::AfricaWest,
+            ResolverId::Baidu | ResolverId::Dns114 | ResolverId::Aliyun => Region::China,
+        }
+    }
+
+    /// Median response time observed at the ground station (query out
+    /// → response in), ms. Calibration anchors: Fig 10's right column.
+    /// This is more than the bare site RTT for recursive resolvers
+    /// (cache misses recurse to authoritatives); Baidu is notoriously
+    /// slow on foreign names.
+    pub fn median_response_ms(self) -> f64 {
+        match self {
+            ResolverId::OperatorEu => 4.0,
+            ResolverId::Google => 22.0,
+            ResolverId::Cloudflare => 20.0,
+            ResolverId::Nigerian => 120.0,
+            ResolverId::OpenDns => 18.0,
+            ResolverId::Level3 => 24.0,
+            ResolverId::Baidu => 356.0,
+            ResolverId::Dns114 => 110.0,
+            ResolverId::Yandex => 55.0,
+            ResolverId::Aliyun => 230.0,
+            ResolverId::Norton => 35.0,
+            ResolverId::Other => 30.0,
+        }
+    }
+
+    /// Sample one resolution time as seen by the monitor.
+    pub fn sample_response_time(self, rng: &mut Rng) -> SimDuration {
+        let d = LogNormal::from_median(self.median_response_ms(), 0.35);
+        SimDuration::from_millis_f64(d.sample(rng))
+    }
+
+    /// What location this resolver effectively advertises to
+    /// DNS-based CDNs on behalf of the client.
+    pub fn client_hint(self) -> ClientHintPolicy {
+        match self {
+            // The operator's resolver sits at the ground station and
+            // all its clients are behind it: CDNs map to Italy.
+            ResolverId::OperatorEu => ClientHintPolicy::GroundStation,
+            // Big anycast resolvers support ECS, but the subscriber's
+            // address range geolocates to the *subscription country*
+            // in commercial geo databases, conflicting with the actual
+            // Italian egress (§6.4). Part of the time the CDN therefore
+            // maps the client to its home country.
+            ResolverId::Google => ClientHintPolicy::ConfusedEcs { home_country_prob: 0.5 },
+            ResolverId::Cloudflare => ClientHintPolicy::ConfusedEcs { home_country_prob: 0.3 },
+            ResolverId::OpenDns | ResolverId::Level3 | ResolverId::Norton | ResolverId::Other => {
+                ClientHintPolicy::ResolverSite
+            }
+            // No ECS: CDNs see only the resolver's own location.
+            ResolverId::Nigerian
+            | ResolverId::Baidu
+            | ResolverId::Dns114
+            | ResolverId::Aliyun
+            | ResolverId::Yandex => ClientHintPolicy::ResolverSite,
+        }
+    }
+
+    /// Resolve the hint to a concrete region for one query.
+    /// `home_region` is where the customer's subscription geolocates.
+    pub fn hint_region(self, rng: &mut Rng, home_region: Region) -> Region {
+        match self.client_hint() {
+            ClientHintPolicy::GroundStation => Region::PeeringCdn,
+            ClientHintPolicy::ResolverSite => self.site_region(),
+            ClientHintPolicy::ConfusedEcs { home_country_prob } => {
+                if rng.chance(home_country_prob) {
+                    home_region
+                } else {
+                    Region::PeeringCdn
+                }
+            }
+        }
+    }
+}
+
+/// How a resolver represents the client to CDN authoritatives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClientHintPolicy {
+    /// Maps the client to the ground station (correct for SatCom).
+    GroundStation,
+    /// Maps the client to the resolver's own site.
+    ResolverSite,
+    /// ECS with a geo database that disagrees with routing: sometimes
+    /// the home country, sometimes the Italian egress.
+    ConfusedEcs { home_country_prob: f64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_unique_and_reversible() {
+        for r in ResolverId::ALL {
+            assert_eq!(ResolverId::from_address(r.address()), Some(r));
+        }
+        assert_eq!(ResolverId::from_address(Ipv4Addr::new(10, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn operator_is_fastest_baidu_slowest() {
+        let op = ResolverId::OperatorEu.median_response_ms();
+        for r in ResolverId::ALL {
+            if r != ResolverId::OperatorEu {
+                assert!(r.median_response_ms() > op, "{r:?}");
+            }
+            assert!(r.median_response_ms() <= ResolverId::Baidu.median_response_ms());
+        }
+    }
+
+    #[test]
+    fn response_time_median_matches_calibration() {
+        let mut rng = Rng::new(1);
+        let mut v: Vec<f64> = (0..20_000)
+            .map(|_| ResolverId::Nigerian.sample_response_time(&mut rng).as_millis_f64())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = v[v.len() / 2];
+        assert!((med / 120.0 - 1.0).abs() < 0.05, "{med}");
+    }
+
+    #[test]
+    fn hint_regions() {
+        let mut rng = Rng::new(2);
+        assert_eq!(ResolverId::OperatorEu.hint_region(&mut rng, Region::AfricaWest), Region::PeeringCdn);
+        assert_eq!(ResolverId::Dns114.hint_region(&mut rng, Region::AfricaWest), Region::China);
+        assert_eq!(ResolverId::Nigerian.hint_region(&mut rng, Region::AfricaCentral), Region::AfricaWest);
+        // Confused ECS mixes home and ground station
+        let mut home = 0;
+        let mut gs = 0;
+        for _ in 0..10_000 {
+            match ResolverId::Google.hint_region(&mut rng, Region::AfricaWest) {
+                Region::AfricaWest => home += 1,
+                Region::PeeringCdn => gs += 1,
+                other => panic!("unexpected region {other:?}"),
+            }
+        }
+        assert!((home as f64 / 10_000.0 - 0.5).abs() < 0.03, "{home}");
+        assert!(gs > 0);
+    }
+
+    #[test]
+    fn chinese_resolvers_sit_in_china() {
+        for r in [ResolverId::Baidu, ResolverId::Dns114, ResolverId::Aliyun] {
+            assert_eq!(r.site_region(), Region::China);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Prefix-preserving IP anonymization (CryptoPan).
+//!
+//! The paper anonymizes customer addresses in real time with CryptoPan
+//! (Fan, Xu, Ammar 2004), which preserves subnet structure: two
+//! addresses sharing a k-bit prefix map to anonymized addresses
+//! sharing exactly a k-bit prefix. This is essential because the
+//! enrichment step maps *encrypted subnets* to countries (§3.1).
+//!
+//! CryptoPan is PRF-agnostic — the original paper uses Rijndael as an
+//! example PRF. No AES implementation exists in the approved offline
+//! dependency set, so we use a from-scratch **Speck64/128** block
+//! cipher (NSA 2013 lightweight cipher, public domain) as the PRF.
+//! DESIGN.md documents this substitution; the prefix-preserving
+//! property — the point of the algorithm — is property-tested below.
+
+/// Speck64/128: 64-bit block, 128-bit key, 27 rounds.
+#[derive(Clone)]
+pub struct Speck64 {
+    round_keys: [u32; 27],
+}
+
+const ROUNDS: usize = 27;
+
+impl Speck64 {
+    /// Key is four little-endian 32-bit words `[k0, l0, l1, l2]` per
+    /// the Speck specification.
+    pub fn new(key: [u32; 4]) -> Speck64 {
+        let mut k = [0u32; ROUNDS];
+        let mut l = [key[1], key[2], key[3]];
+        k[0] = key[0];
+        for i in 0..ROUNDS - 1 {
+            let new_l = (k[i].wrapping_add(l[i % 3].rotate_right(8))) ^ (i as u32);
+            l[i % 3] = new_l;
+            k[i + 1] = k[i].rotate_left(3) ^ new_l;
+        }
+        Speck64 { round_keys: k }
+    }
+
+    /// Derive a cipher from an arbitrary byte seed (key-stretching via
+    /// SplitMix64 — configuration-time convenience).
+    pub fn from_seed(seed: u64) -> Speck64 {
+        let mut sm = seed;
+        let a = satwatch_simcore::rng::splitmix64(&mut sm);
+        let b = satwatch_simcore::rng::splitmix64(&mut sm);
+        Speck64::new([a as u32, (a >> 32) as u32, b as u32, (b >> 32) as u32])
+    }
+
+    /// Encrypt one 64-bit block given as `(x, y)` word halves.
+    pub fn encrypt(&self, block: u64) -> u64 {
+        let mut x = (block >> 32) as u32;
+        let mut y = block as u32;
+        for &rk in &self.round_keys {
+            x = x.rotate_right(8).wrapping_add(y) ^ rk;
+            y = y.rotate_left(3) ^ x;
+        }
+        (u64::from(x) << 32) | u64::from(y)
+    }
+}
+
+/// CryptoPan-style prefix-preserving anonymizer for IPv4.
+pub struct CryptoPan {
+    cipher: Speck64,
+    /// Pseudo-random pad filling the low bits of each PRF input.
+    pad: u64,
+}
+
+impl CryptoPan {
+    pub fn new(seed: u64) -> CryptoPan {
+        let cipher = Speck64::from_seed(seed);
+        // The pad is the encryption of a fixed block, as in the
+        // reference implementation.
+        let pad = cipher.encrypt(0x5c5c_5c5c_5c5c_5c5cu64);
+        CryptoPan { cipher, pad }
+    }
+
+    /// Anonymize one address, preserving prefixes.
+    pub fn anonymize(&self, addr: std::net::Ipv4Addr) -> std::net::Ipv4Addr {
+        let a = u32::from(addr);
+        let mut result: u32 = 0;
+        for i in 0..32 {
+            // First i bits from the original address, the remaining
+            // 64−i bits from the pad.
+            let prefix = if i == 0 { 0 } else { u64::from(a >> (32 - i)) << (64 - i) };
+            let mask = if i == 0 { u64::MAX } else { u64::MAX >> i };
+            let input = prefix | (self.pad & mask);
+            let flip = (self.cipher.encrypt(input) >> 63) as u32; // MSB
+            let orig_bit = (a >> (31 - i)) & 1;
+            result = (result << 1) | (orig_bit ^ flip);
+        }
+        std::net::Ipv4Addr::from(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satwatch_netstack::ip::common_prefix_len;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn speck_reference_vector() {
+        // Official Speck64/128 test vector (Beaulieu et al. 2013):
+        // key = 1b1a1918 13121110 0b0a0908 03020100
+        // pt  = 3b726574 7475432d   ct = 8c6fa548 454e028b
+        let cipher = Speck64::new([0x0302_0100, 0x0b0a_0908, 0x1312_1110, 0x1b1a_1918]);
+        let ct = cipher.encrypt(0x3b72_6574_7475_432d);
+        assert_eq!(ct, 0x8c6f_a548_454e_028b, "got {ct:016x}");
+    }
+
+    #[test]
+    fn anonymization_is_deterministic_and_key_dependent() {
+        let a = Ipv4Addr::new(10, 1, 2, 3);
+        let pan1 = CryptoPan::new(42);
+        let pan2 = CryptoPan::new(42);
+        let pan3 = CryptoPan::new(43);
+        assert_eq!(pan1.anonymize(a), pan2.anonymize(a));
+        assert_ne!(pan1.anonymize(a), pan3.anonymize(a));
+        assert_ne!(pan1.anonymize(a), a, "address must actually change");
+    }
+
+    #[test]
+    fn prefix_preservation_exact() {
+        let pan = CryptoPan::new(7);
+        let pairs = [
+            (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)),
+            (Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 200, 1)),
+            (Ipv4Addr::new(10, 128, 0, 1), Ipv4Addr::new(11, 0, 0, 1)),
+            (Ipv4Addr::new(192, 168, 10, 10), Ipv4Addr::new(192, 168, 10, 11)),
+        ];
+        for (x, y) in pairs {
+            let k = common_prefix_len(x, y);
+            let (ax, ay) = (pan.anonymize(x), pan.anonymize(y));
+            assert_eq!(
+                common_prefix_len(ax, ay),
+                k,
+                "{x}/{y} share {k} bits; anonymized {ax}/{ay} must too"
+            );
+        }
+    }
+
+    #[test]
+    fn injective_on_a_subnet() {
+        let pan = CryptoPan::new(99);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..=255u8 {
+            let a = pan.anonymize(Ipv4Addr::new(10, 20, 30, i));
+            assert!(seen.insert(a), "collision at host {i}");
+        }
+    }
+
+    #[test]
+    fn distributes_bits() {
+        // The anonymized space should not be degenerate: across many
+        // inputs, the first output bit must take both values.
+        let pan = CryptoPan::new(3);
+        let mut zeros = 0;
+        for i in 0..64u32 {
+            let a = pan.anonymize(Ipv4Addr::from(i << 26));
+            if u32::from(a) >> 31 == 0 {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 0 && zeros < 64);
+    }
+}

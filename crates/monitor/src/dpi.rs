@@ -1,0 +1,249 @@
+//! Deep packet inspection: protocol identification and domain
+//! extraction (paper §2.2).
+//!
+//! Per flow, the DPI engine inspects early payloads and annotates the
+//! flow with the server domain name — from the TLS SNI, the HTTP Host
+//! header, or the QUIC Initial's embedded ClientHello — and a protocol
+//! verdict matching the paper's Table 1 taxonomy.
+
+use crate::record::L7Protocol;
+use satwatch_netstack::{http, quic, rtp, tls};
+
+/// Per-flow DPI state.
+#[derive(Clone, Debug)]
+pub struct Dpi {
+    is_tcp: bool,
+    server_port: u16,
+    verdict: Option<L7Protocol>,
+    domain: Option<String>,
+    /// TLS handshake records seen on the flow (c2s direction).
+    saw_tls_client_hello: bool,
+    /// Consecutive RTP-plausible packets (heuristic needs ≥ 2).
+    rtp_streak: u8,
+    /// Payload packets inspected so far; inspection stops after a cap
+    /// (like real DPI engines, which only look at flow heads).
+    inspected: u32,
+}
+
+/// Packets of payload to inspect before giving up on classification.
+const INSPECT_CAP: u32 = 12;
+
+impl Dpi {
+    pub fn new(is_tcp: bool, server_port: u16) -> Dpi {
+        Dpi {
+            is_tcp,
+            server_port,
+            verdict: None,
+            domain: None,
+            saw_tls_client_hello: false,
+            rtp_streak: 0,
+            inspected: 0,
+        }
+    }
+
+    /// Inspect one payload-bearing packet. `c2s` is true for
+    /// client→server packets.
+    pub fn inspect(&mut self, payload: &[u8], c2s: bool) {
+        if payload.is_empty() || self.inspected >= INSPECT_CAP {
+            return;
+        }
+        self.inspected += 1;
+        if self.is_tcp {
+            self.inspect_tcp(payload, c2s);
+        } else {
+            self.inspect_udp(payload, c2s);
+        }
+    }
+
+    fn inspect_tcp(&mut self, payload: &[u8], c2s: bool) {
+        if self.verdict == Some(L7Protocol::TlsHttps) && self.domain.is_some() {
+            return;
+        }
+        // TLS?
+        if let Ok((rec, _)) = tls::parse_record(payload) {
+            if rec.content == tls::ContentType::Handshake {
+                if c2s && tls::handshake_type(rec.body) == Some(tls::HandshakeType::ClientHello) {
+                    self.saw_tls_client_hello = true;
+                    if let Some(sni) = tls::extract_sni(rec.body) {
+                        self.domain = Some(sni);
+                    }
+                }
+                self.verdict = Some(L7Protocol::TlsHttps);
+                return;
+            }
+            if self.saw_tls_client_hello {
+                self.verdict = Some(L7Protocol::TlsHttps);
+                return;
+            }
+        }
+        // HTTP?
+        if c2s && http::looks_like_request(payload) {
+            self.verdict = Some(L7Protocol::Http);
+            if let Some(host) = http::extract_host(payload) {
+                self.domain = Some(host);
+            }
+            return;
+        }
+        if !c2s && http::looks_like_response(payload) && self.verdict.is_none() {
+            self.verdict = Some(L7Protocol::Http);
+        }
+    }
+
+    fn inspect_udp(&mut self, payload: &[u8], c2s: bool) {
+        if self.verdict.is_some() && self.domain.is_some() {
+            return;
+        }
+        // DNS by port (the monitor logs the transaction separately).
+        if self.server_port == 53 {
+            self.verdict = Some(L7Protocol::Dns);
+            return;
+        }
+        // QUIC?
+        if quic::looks_like_quic(payload) {
+            if c2s {
+                if let Some(sni) = quic::extract_sni(payload) {
+                    self.domain = Some(sni);
+                    self.verdict = Some(L7Protocol::Quic);
+                    return;
+                }
+            }
+            // short-header or non-Initial packets: only classify QUIC
+            // if something earlier confirmed it
+            if self.verdict == Some(L7Protocol::Quic) {
+                return;
+            }
+        }
+        // RTP heuristic: two consecutive plausible headers.
+        if rtp::looks_like_rtp(payload) {
+            self.rtp_streak = self.rtp_streak.saturating_add(1);
+            if self.rtp_streak >= 2 {
+                self.verdict = Some(L7Protocol::Rtp);
+            }
+        } else {
+            self.rtp_streak = 0;
+        }
+    }
+
+    /// Final protocol verdict for the flow record.
+    pub fn verdict(&self) -> L7Protocol {
+        match self.verdict {
+            Some(v) => v,
+            None if self.is_tcp => L7Protocol::OtherTcp,
+            None => L7Protocol::OtherUdp,
+        }
+    }
+
+    pub fn domain(&self) -> Option<&str> {
+        self.domain.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satwatch_netstack::tls;
+
+    #[test]
+    fn tls_flow_classified_with_sni() {
+        let mut d = Dpi::new(true, 443);
+        d.inspect(&tls::client_hello("api.snapchat.com", [0; 32]), true);
+        d.inspect(&tls::server_hello([0; 32]), false);
+        assert_eq!(d.verdict(), L7Protocol::TlsHttps);
+        assert_eq!(d.domain(), Some("api.snapchat.com"));
+    }
+
+    #[test]
+    fn http_flow_classified_with_host() {
+        let mut d = Dpi::new(true, 80);
+        d.inspect(&satwatch_netstack::http::get_request("cdn.sky.com", "/show.ts", "SkyGo"), true);
+        assert_eq!(d.verdict(), L7Protocol::Http);
+        assert_eq!(d.domain(), Some("cdn.sky.com"));
+    }
+
+    #[test]
+    fn http_response_only_still_http() {
+        let mut d = Dpi::new(true, 80);
+        d.inspect(&satwatch_netstack::http::ok_response(100, "text/html"), false);
+        assert_eq!(d.verdict(), L7Protocol::Http);
+        assert_eq!(d.domain(), None);
+    }
+
+    #[test]
+    fn unknown_tcp_is_other() {
+        let mut d = Dpi::new(true, 8443);
+        d.inspect(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02], true);
+        d.inspect(&[0x00; 40], false);
+        assert_eq!(d.verdict(), L7Protocol::OtherTcp);
+    }
+
+    #[test]
+    fn quic_initial_classified_with_sni() {
+        let mut d = Dpi::new(false, 443);
+        let p = satwatch_netstack::quic::initial_with_sni(&[9; 8], &[1], "www.youtube.com", [7; 32]);
+        d.inspect(&p, true);
+        assert_eq!(d.verdict(), L7Protocol::Quic);
+        assert_eq!(d.domain(), Some("www.youtube.com"));
+        // subsequent short packets do not change the verdict
+        d.inspect(&satwatch_netstack::quic::short_packet(&[9; 8], 100, 0), false);
+        assert_eq!(d.verdict(), L7Protocol::Quic);
+    }
+
+    #[test]
+    fn dns_by_port() {
+        let mut d = Dpi::new(false, 53);
+        let q = satwatch_netstack::dns::DnsMessage::query(1, "x.example", satwatch_netstack::dns::RecordType::A);
+        d.inspect(&q.encode(), true);
+        assert_eq!(d.verdict(), L7Protocol::Dns);
+    }
+
+    #[test]
+    fn rtp_needs_two_consecutive_packets() {
+        let mut d = Dpi::new(false, 40_000);
+        let h = satwatch_netstack::rtp::RtpHeader {
+            payload_type: 111,
+            sequence: 1,
+            timestamp: 0,
+            ssrc: 1,
+            marker: false,
+        };
+        d.inspect(&h.encode(160, 0), true);
+        assert_eq!(d.verdict(), L7Protocol::OtherUdp, "one packet is not enough");
+        d.inspect(&h.encode(160, 0), true);
+        assert_eq!(d.verdict(), L7Protocol::Rtp);
+    }
+
+    #[test]
+    fn rtp_streak_resets_on_mismatch() {
+        let mut d = Dpi::new(false, 40_000);
+        let h = satwatch_netstack::rtp::RtpHeader {
+            payload_type: 0,
+            sequence: 1,
+            timestamp: 0,
+            ssrc: 1,
+            marker: false,
+        };
+        d.inspect(&h.encode(160, 0), true);
+        d.inspect(&[0x01, 0x02, 0x03], true); // garbage breaks the streak
+        d.inspect(&h.encode(160, 0), true);
+        assert_eq!(d.verdict(), L7Protocol::OtherUdp);
+    }
+
+    #[test]
+    fn inspection_cap_stops_work() {
+        let mut d = Dpi::new(true, 443);
+        for _ in 0..50 {
+            d.inspect(&[1, 2, 3], true);
+        }
+        assert!(d.inspected <= INSPECT_CAP);
+        // a late ClientHello past the cap is not inspected
+        d.inspect(&tls::client_hello("late.example", [0; 32]), true);
+        assert_eq!(d.domain(), None);
+    }
+
+    #[test]
+    fn empty_payload_ignored() {
+        let mut d = Dpi::new(true, 443);
+        d.inspect(&[], true);
+        assert_eq!(d.inspected, 0);
+    }
+}

@@ -1,0 +1,628 @@
+//! 5-tuple flow tracking: the monitor's core data structure.
+//!
+//! Mirrors Tstat's design (paper §2.2): flows keyed by the classic
+//! 5-tuple, per-direction counters, first-10-packet timing, TCP state
+//! observation, RTT estimation, and DPI — all updated in one pass over
+//! the packet stream, with idle-timeout eviction bounding memory.
+
+use crate::dpi::Dpi;
+use crate::reassembly::StreamReassembler;
+use crate::record::{EarlyPacket, FlowRecord, RttSummary};
+use crate::rtt::{GroundRtt, SatRtt};
+use satwatch_netstack::ip::proto;
+use satwatch_netstack::{FiveTuple, Packet, Subnet, TcpHeader, Transport};
+use satwatch_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Flow-table configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowTableConfig {
+    /// The operator's customer address space: packets sourced here are
+    /// client→server, packets destined here are server→client,
+    /// anything else is transit and ignored.
+    pub customer_subnet: Subnet,
+    /// Evict flows idle longer than this (Tstat default is minutes;
+    /// UDP flows in particular only end by timeout).
+    pub idle_timeout: SimDuration,
+    /// How many early packets to time-stamp per flow.
+    pub early_packets: usize,
+}
+
+impl FlowTableConfig {
+    pub fn new(customer_subnet: Subnet) -> FlowTableConfig {
+        FlowTableConfig {
+            customer_subnet,
+            idle_timeout: SimDuration::from_secs(120),
+            early_packets: 10,
+        }
+    }
+}
+
+/// Which way a packet crosses the vantage point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Customer → internet (upload side).
+    C2s,
+    /// Internet → customer (download side).
+    S2c,
+}
+
+/// Per-direction inspection buffer: accumulates the in-order stream
+/// head and hands *complete units* to the DPI. TLS streams are cut at
+/// record boundaries (a ClientHello split across segments is inspected
+/// whole); anything that does not look like TLS records is passed
+/// through chunk-by-chunk (HTTP heads and opaque payloads are
+/// self-contained in practice).
+#[derive(Debug, Default)]
+struct InspectBuffer {
+    buf: Vec<u8>,
+    mode: InspectMode,
+}
+
+#[derive(Debug, Default, PartialEq, Clone, Copy)]
+enum InspectMode {
+    #[default]
+    Unknown,
+    /// TLS: parse and deliver whole records.
+    Records,
+    /// Non-TLS: deliver chunks as they come, no buffering.
+    Raw,
+    /// Inspection finished (cap reached or DPI satisfied).
+    Done,
+}
+
+/// Bound on the buffered head while waiting for a record to complete.
+const INSPECT_BUF_CAP: usize = 16_384;
+
+impl InspectBuffer {
+    /// Feed one in-order chunk; invokes `sink` for every complete unit.
+    fn feed(&mut self, chunk: &[u8], mut sink: impl FnMut(&[u8])) {
+        use satwatch_netstack::ip::ParseError;
+        match self.mode {
+            InspectMode::Done => {}
+            InspectMode::Raw => sink(chunk),
+            InspectMode::Unknown | InspectMode::Records => {
+                self.buf.extend_from_slice(chunk);
+                if self.mode == InspectMode::Unknown {
+                    // sniff: TLS record = content type 20..=23, major 3
+                    if self.buf.len() >= 2 {
+                        if (20..=23).contains(&self.buf[0]) && self.buf[1] == 3 {
+                            self.mode = InspectMode::Records;
+                        } else {
+                            self.mode = InspectMode::Raw;
+                            let pending = std::mem::take(&mut self.buf);
+                            sink(&pending);
+                            return;
+                        }
+                    } else {
+                        return; // need more bytes to sniff
+                    }
+                }
+                // Records mode: deliver complete records
+                let mut consumed = 0;
+                loop {
+                    match satwatch_netstack::tls::parse_record(&self.buf[consumed..]) {
+                        Ok((_, used)) => {
+                            sink(&self.buf[consumed..consumed + used]);
+                            consumed += used;
+                        }
+                        Err(ParseError::Truncated { .. }) => break,
+                        Err(_) => {
+                            // stream stopped looking like TLS (e.g.
+                            // encrypted app data with a mangled header):
+                            // flush and fall back to raw
+                            sink(&self.buf[consumed..]);
+                            consumed = self.buf.len();
+                            self.mode = InspectMode::Raw;
+                            break;
+                        }
+                    }
+                }
+                self.buf.drain(..consumed);
+                if self.buf.len() > INSPECT_BUF_CAP {
+                    // a record that never completes cannot pin memory
+                    let pending = std::mem::take(&mut self.buf);
+                    sink(&pending);
+                    self.mode = InspectMode::Done;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    key: FiveTuple, // client-first orientation
+    first: SimTime,
+    last: SimTime,
+    c2s_packets: u64,
+    c2s_bytes: u64,
+    c2s_payload: u64,
+    s2c_packets: u64,
+    s2c_bytes: u64,
+    s2c_payload: u64,
+    early: Vec<EarlyPacket>,
+    syn_seen: bool,
+    fin_c2s: bool,
+    fin_s2c: bool,
+    rst_seen: bool,
+    c2s_retrans: u64,
+    s2c_retrans: u64,
+    /// Highest sequence end seen per direction (retransmission detection).
+    c2s_high: Option<satwatch_netstack::SeqNum>,
+    s2c_high: Option<satwatch_netstack::SeqNum>,
+    s2c_data_first: Option<SimTime>,
+    s2c_data_last: Option<SimTime>,
+    ground: GroundRtt,
+    sat: SatRtt,
+    dpi: Dpi,
+    /// Per-direction reassembly feeding DPI and the TLS estimator.
+    c2s_stream: StreamReassembler,
+    s2c_stream: StreamReassembler,
+    c2s_inspect: InspectBuffer,
+    s2c_inspect: InspectBuffer,
+}
+
+impl FlowState {
+    fn new(key: FiveTuple, t: SimTime) -> FlowState {
+        FlowState {
+            key,
+            first: t,
+            last: t,
+            c2s_packets: 0,
+            c2s_bytes: 0,
+            c2s_payload: 0,
+            s2c_packets: 0,
+            s2c_bytes: 0,
+            s2c_payload: 0,
+            early: Vec::new(),
+            syn_seen: false,
+            fin_c2s: false,
+            fin_s2c: false,
+            rst_seen: false,
+            c2s_retrans: 0,
+            s2c_retrans: 0,
+            c2s_high: None,
+            s2c_high: None,
+            s2c_data_first: None,
+            s2c_data_last: None,
+            ground: GroundRtt::new(),
+            sat: SatRtt::new(),
+            dpi: Dpi::new(key.protocol == proto::TCP, key.dst_port),
+            c2s_stream: StreamReassembler::new(),
+            s2c_stream: StreamReassembler::new(),
+            c2s_inspect: InspectBuffer::default(),
+            s2c_inspect: InspectBuffer::default(),
+        }
+    }
+
+    fn closed(&self) -> bool {
+        self.rst_seen || (self.fin_c2s && self.fin_s2c)
+    }
+
+    fn into_record(self) -> FlowRecord {
+        let ground_rtt = RttSummary::from_running(self.ground.stats());
+        let l7 = self.dpi.verdict();
+        // DNS flows on TCP port 53 would be OtherTcp; our DPI verdict
+        // already covers UDP/53.
+        FlowRecord {
+            client: self.key.src,
+            server: self.key.dst,
+            client_port: self.key.src_port,
+            server_port: self.key.dst_port,
+            ip_proto: self.key.protocol,
+            first: self.first,
+            last: self.last,
+            c2s_packets: self.c2s_packets,
+            c2s_bytes: self.c2s_bytes,
+            c2s_payload_bytes: self.c2s_payload,
+            s2c_packets: self.s2c_packets,
+            s2c_bytes: self.s2c_bytes,
+            s2c_payload_bytes: self.s2c_payload,
+            early: self.early,
+            c2s_retrans: self.c2s_retrans,
+            s2c_retrans: self.s2c_retrans,
+            syn_seen: self.syn_seen,
+            fin_seen: self.fin_c2s || self.fin_s2c,
+            rst_seen: self.rst_seen,
+            ground_rtt,
+            s2c_data_first: self.s2c_data_first,
+            s2c_data_last: self.s2c_data_last,
+            sat_rtt_ms: self.sat.sample_ms(),
+            l7,
+            domain: self.dpi.domain().map(str::to_owned),
+        }
+    }
+}
+
+/// The flow table.
+#[derive(Debug)]
+pub struct FlowTable {
+    cfg: FlowTableConfig,
+    flows: HashMap<FiveTuple, FlowState>,
+    finished: Vec<FlowRecord>,
+    /// Count of transit packets ignored (neither endpoint a customer).
+    pub transit_packets: u64,
+}
+
+impl FlowTable {
+    pub fn new(cfg: FlowTableConfig) -> FlowTable {
+        FlowTable { cfg, flows: HashMap::new(), finished: Vec::new(), transit_packets: 0 }
+    }
+
+    /// Direction of a packet relative to the customer subnet, or
+    /// `None` for transit traffic.
+    pub fn direction(&self, pkt: &Packet) -> Option<Direction> {
+        let src_cust = self.cfg.customer_subnet.contains(pkt.ip.src);
+        let dst_cust = self.cfg.customer_subnet.contains(pkt.ip.dst);
+        match (src_cust, dst_cust) {
+            (true, false) => Some(Direction::C2s),
+            (false, true) => Some(Direction::S2c),
+            _ => None,
+        }
+    }
+
+    /// Process one packet observed at time `t`.
+    pub fn process(&mut self, t: SimTime, pkt: &Packet) {
+        let Some(dir) = self.direction(pkt) else {
+            self.transit_packets += 1;
+            return;
+        };
+        let key = match dir {
+            Direction::C2s => pkt.five_tuple(),
+            Direction::S2c => pkt.five_tuple().reversed(),
+        };
+        let early_cap = self.cfg.early_packets;
+        let flow = self.flows.entry(key).or_insert_with(|| FlowState::new(key, t));
+        flow.last = flow.last.max(t);
+        let wire = pkt.wire_len() as u64;
+        let payload = pkt.payload_len() as u64;
+        match dir {
+            Direction::C2s => {
+                flow.c2s_packets += 1;
+                flow.c2s_bytes += wire;
+                flow.c2s_payload += payload;
+            }
+            Direction::S2c => {
+                flow.s2c_packets += 1;
+                flow.s2c_bytes += wire;
+                flow.s2c_payload += payload;
+                if payload > 0 {
+                    flow.s2c_data_first.get_or_insert(t);
+                    flow.s2c_data_last = Some(t);
+                }
+            }
+        }
+        if flow.early.len() < early_cap {
+            flow.early.push(EarlyPacket {
+                offset_ms: (t - flow.first).as_millis_f64(),
+                wire_len: pkt.wire_len().min(u16::MAX as usize) as u16,
+                c2s: dir == Direction::C2s,
+            });
+        }
+        if let Transport::Tcp(tcp) = &pkt.transport {
+            self.process_tcp(t, dir, tcp, &pkt.payload, key);
+        } else {
+            let flow = self.flows.get_mut(&key).expect("flow just inserted");
+            flow.dpi.inspect(&pkt.payload, dir == Direction::C2s);
+        }
+        // Closed TCP flows are finalised immediately (like Tstat).
+        if let Some(flow) = self.flows.get(&key) {
+            if flow.closed() {
+                let flow = self.flows.remove(&key).expect("flow present");
+                self.finished.push(flow.into_record());
+            }
+        }
+    }
+
+    fn process_tcp(&mut self, t: SimTime, dir: Direction, tcp: &TcpHeader, payload: &bytes::Bytes, key: FiveTuple) {
+        let flow = self.flows.get_mut(&key).expect("flow exists");
+        if tcp.flags.syn() {
+            flow.syn_seen = true;
+            // anchor the direction's stream at ISN + 1
+            let stream = match dir {
+                Direction::C2s => &mut flow.c2s_stream,
+                Direction::S2c => &mut flow.s2c_stream,
+            };
+            stream.set_base(tcp.seq + 1);
+        }
+        if tcp.flags.rst() {
+            flow.rst_seen = true;
+        }
+        // Retransmission detection: a payload-bearing segment whose end
+        // does not advance the direction's high-water mark re-occupies
+        // already-seen sequence space (Tstat's rexmit heuristic).
+        if !payload.is_empty() {
+            let end = tcp.seq + payload.len() as u32;
+            let high = match dir {
+                Direction::C2s => &mut flow.c2s_high,
+                Direction::S2c => &mut flow.s2c_high,
+            };
+            match high {
+                Some(h) if !end.after(*h) => match dir {
+                    Direction::C2s => flow.c2s_retrans += 1,
+                    Direction::S2c => flow.s2c_retrans += 1,
+                },
+                Some(h) => *h = end,
+                None => *high = Some(end),
+            }
+        }
+        match dir {
+            Direction::C2s => {
+                if tcp.flags.fin() {
+                    flow.fin_c2s = true;
+                }
+                // outbound data (or SYN/FIN occupying sequence space)
+                let mut consumed = payload.len() as u32;
+                if tcp.flags.syn() || tcp.flags.fin() {
+                    consumed += 1;
+                }
+                if consumed > 0 {
+                    flow.ground.on_data_out(t, tcp.seq + consumed);
+                }
+                let sat = &mut flow.sat;
+                let dpi = &mut flow.dpi;
+                for chunk in flow.c2s_stream.insert(tcp.seq, payload) {
+                    flow.c2s_inspect.feed(&chunk, |unit| {
+                        sat.on_c2s_payload(t, unit);
+                        dpi.inspect(unit, true);
+                    });
+                }
+            }
+            Direction::S2c => {
+                if tcp.flags.fin() {
+                    flow.fin_s2c = true;
+                }
+                if tcp.flags.ack() {
+                    flow.ground.on_ack_in(t, tcp.ack);
+                }
+                let sat = &mut flow.sat;
+                let dpi = &mut flow.dpi;
+                for chunk in flow.s2c_stream.insert(tcp.seq, payload) {
+                    flow.s2c_inspect.feed(&chunk, |unit| {
+                        sat.on_s2c_payload(t, unit);
+                        dpi.inspect(unit, false);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Evict flows idle at time `t`. Call periodically (the probe does).
+    pub fn sweep(&mut self, t: SimTime) {
+        let timeout = self.cfg.idle_timeout;
+        let mut expired: Vec<FiveTuple> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| t - f.last > timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        // deterministic eviction order (HashMap iteration is not)
+        expired.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port));
+        for k in expired {
+            let flow = self.flows.remove(&k).expect("expired flow present");
+            self.finished.push(flow.into_record());
+        }
+    }
+
+    /// Finalise every remaining flow and return all records.
+    pub fn flush(&mut self) -> Vec<FlowRecord> {
+        let mut keys: Vec<FiveTuple> = self.flows.keys().copied().collect();
+        // deterministic output order: by first-seen time then key
+        keys.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port));
+        for k in keys {
+            let flow = self.flows.remove(&k).expect("flow present");
+            self.finished.push(flow.into_record());
+        }
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Take records finalised so far without flushing live flows.
+    pub fn drain_finished(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.finished)
+    }
+
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+// Re-exported for record-construction convenience in tests.
+pub use crate::record::L7Protocol as Verdict;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::L7Protocol;
+    use bytes::Bytes;
+    use satwatch_netstack::tcp::{SeqNum, TcpFlags};
+    use satwatch_netstack::tls;
+    use std::net::Ipv4Addr;
+
+    fn cfg() -> FlowTableConfig {
+        FlowTableConfig::new(Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 8))
+    }
+
+    fn client() -> Ipv4Addr {
+        Ipv4Addr::new(10, 1, 2, 3)
+    }
+
+    fn server() -> Ipv4Addr {
+        Ipv4Addr::new(198, 18, 0, 1)
+    }
+
+    fn t(ms: i64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn tcp_pkt(src_is_client: bool, flags: TcpFlags, seq: u32, ack: u32, payload: &[u8]) -> Packet {
+        let (src, dst, sport, dport) =
+            if src_is_client { (client(), server(), 50_000, 443) } else { (server(), client(), 443, 50_000) };
+        let mut h = TcpHeader::new(sport, dport, flags);
+        h.seq = SeqNum(seq);
+        h.ack = SeqNum(ack);
+        Packet::tcp(src, dst, h, Bytes::copy_from_slice(payload))
+    }
+
+    /// Simulate the GS-side of a PEP'd TLS flow and return the record.
+    fn run_tls_flow(table: &mut FlowTable) {
+        // SYN / SYN-ACK / ACK (ground handshake, 12 ms RTT)
+        table.process(t(0), &tcp_pkt(true, TcpFlags::SYN, 100, 0, &[]));
+        table.process(t(12), &tcp_pkt(false, TcpFlags::SYN_ACK, 900, 101, &[]));
+        table.process(t(12), &tcp_pkt(true, TcpFlags::ACK, 101, 901, &[]));
+        // ClientHello out
+        let ch = tls::client_hello("video.tiktokv.com", [1; 32]);
+        table.process(t(13), &tcp_pkt(true, TcpFlags::PSH_ACK, 101, 901, &ch));
+        // ServerHello flight back (acks the CH)
+        let mut flight = Vec::new();
+        flight.extend_from_slice(&tls::server_hello([2; 32]));
+        flight.extend_from_slice(&tls::certificate(800, 0));
+        flight.extend_from_slice(&tls::server_hello_done());
+        table.process(t(25), &tcp_pkt(false, TcpFlags::PSH_ACK, 901, 101 + ch.len() as u32, &flight));
+        // CKE+CCS return after one satellite RTT (600 ms)
+        let mut reply = Vec::new();
+        reply.extend_from_slice(&tls::client_key_exchange(0));
+        reply.extend_from_slice(&tls::change_cipher_spec());
+        table.process(t(625), &tcp_pkt(true, TcpFlags::PSH_ACK, 101 + ch.len() as u32, 901 + flight.len() as u32, &reply));
+        // app data + close
+        table.process(t(700), &tcp_pkt(false, TcpFlags::PSH_ACK, 901 + flight.len() as u32, 0, &tls::application_data(5000, 7)));
+        table.process(t(800), &tcp_pkt(true, TcpFlags::FIN_ACK, 9000, 0, &[]));
+        table.process(t(812), &tcp_pkt(false, TcpFlags::FIN_ACK, 99_000, 9001, &[]));
+    }
+
+    #[test]
+    fn tls_flow_end_to_end() {
+        let mut table = FlowTable::new(cfg());
+        run_tls_flow(&mut table);
+        assert_eq!(table.active_flows(), 0, "FIN/FIN closes the flow");
+        let recs = table.flush();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.client, client());
+        assert_eq!(r.server, server());
+        assert_eq!(r.server_port, 443);
+        assert_eq!(r.l7, L7Protocol::TlsHttps);
+        assert_eq!(r.domain.as_deref(), Some("video.tiktokv.com"));
+        assert!(r.syn_seen && r.fin_seen && !r.rst_seen);
+        // satellite RTT = 625-25 = 600 ms
+        assert_eq!(r.sat_rtt_ms, Some(600.0));
+        // ground RTT from SYN→SYNACK = 12 ms
+        assert!(r.ground_rtt.samples >= 1);
+        assert!((r.ground_rtt.min_ms - 12.0).abs() < 1.0, "{:?}", r.ground_rtt);
+        assert!(r.s2c_bytes > r.c2s_bytes);
+        assert_eq!(r.early.len(), 10.min(r.early.len()));
+        assert!((r.duration_s() - 0.812).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rst_closes_flow() {
+        let mut table = FlowTable::new(cfg());
+        table.process(t(0), &tcp_pkt(true, TcpFlags::SYN, 1, 0, &[]));
+        table.process(t(5), &tcp_pkt(false, TcpFlags::RST, 0, 0, &[]));
+        assert_eq!(table.active_flows(), 0);
+        let recs = table.flush();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].rst_seen);
+    }
+
+    #[test]
+    fn udp_flow_times_out() {
+        let mut table = FlowTable::new(cfg());
+        let q = Packet::udp(client(), Ipv4Addr::new(8, 8, 8, 8), 40_000, 53,
+            satwatch_netstack::dns::DnsMessage::query(1, "x.com", satwatch_netstack::dns::RecordType::A).encode());
+        table.process(t(0), &q);
+        assert_eq!(table.active_flows(), 1);
+        table.sweep(t(1_000));
+        assert_eq!(table.active_flows(), 1, "not yet idle long enough");
+        table.sweep(t(200_000));
+        assert_eq!(table.active_flows(), 0);
+        let recs = table.flush();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].l7, L7Protocol::Dns);
+        assert_eq!(recs[0].ip_proto, 17);
+    }
+
+    #[test]
+    fn transit_traffic_ignored() {
+        let mut table = FlowTable::new(cfg());
+        let p = Packet::udp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2, Bytes::new());
+        table.process(t(0), &p);
+        assert_eq!(table.active_flows(), 0);
+        assert_eq!(table.transit_packets, 1);
+        // customer-to-customer is also not a monitored flow
+        let p2 = Packet::udp(client(), Ipv4Addr::new(10, 9, 9, 9), 1, 2, Bytes::new());
+        table.process(t(0), &p2);
+        assert_eq!(table.transit_packets, 2);
+    }
+
+    #[test]
+    fn directions_merge_into_one_flow() {
+        let mut table = FlowTable::new(cfg());
+        let out = Packet::udp(client(), server(), 5000, 443, Bytes::from_static(&[0; 50]));
+        let back = Packet::udp(server(), client(), 443, 5000, Bytes::from_static(&[0; 500]));
+        table.process(t(0), &out);
+        table.process(t(600), &back);
+        assert_eq!(table.active_flows(), 1);
+        let recs = table.flush();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].c2s_packets, 1);
+        assert_eq!(recs[0].s2c_packets, 1);
+        assert!(recs[0].s2c_bytes > recs[0].c2s_bytes);
+    }
+
+    #[test]
+    fn early_packets_capped_at_ten() {
+        let mut table = FlowTable::new(cfg());
+        for i in 0..25 {
+            let p = Packet::udp(client(), server(), 5000, 8000, Bytes::from_static(&[1; 100]));
+            table.process(t(i * 10), &p);
+        }
+        let recs = table.flush();
+        assert_eq!(recs[0].early.len(), 10);
+        assert_eq!(recs[0].c2s_packets, 25);
+        // offsets are monotone
+        for w in recs[0].early.windows(2) {
+            assert!(w[1].offset_ms >= w[0].offset_ms);
+        }
+    }
+
+    #[test]
+    fn retransmissions_detected_per_direction() {
+        let mut table = FlowTable::new(cfg());
+        // fresh data at seq 1000..1100
+        table.process(t(0), &tcp_pkt(true, TcpFlags::PSH_ACK, 1000, 0, &[7; 100]));
+        // retransmit the same range
+        table.process(t(300), &tcp_pkt(true, TcpFlags::PSH_ACK, 1000, 0, &[7; 100]));
+        // new data advances the mark — not a retransmission
+        table.process(t(400), &tcp_pkt(true, TcpFlags::PSH_ACK, 1100, 0, &[7; 50]));
+        // server side: fresh then partial retransmit
+        table.process(t(500), &tcp_pkt(false, TcpFlags::PSH_ACK, 9000, 0, &[1; 200]));
+        table.process(t(900), &tcp_pkt(false, TcpFlags::PSH_ACK, 9100, 0, &[1; 100]));
+        let recs = table.flush();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].c2s_retrans, 1);
+        assert_eq!(recs[0].s2c_retrans, 1, "9100..9200 does not advance past 9200");
+        // pure ACKs never count
+        let mut table2 = FlowTable::new(cfg());
+        table2.process(t(0), &tcp_pkt(true, TcpFlags::ACK, 1, 1, &[]));
+        table2.process(t(1), &tcp_pkt(true, TcpFlags::ACK, 1, 1, &[]));
+        let recs2 = table2.flush();
+        assert_eq!(recs2[0].c2s_retrans, 0);
+    }
+
+    #[test]
+    fn flush_is_deterministic_order() {
+        let build = || {
+            let mut table = FlowTable::new(cfg());
+            for i in 0..20u8 {
+                let p = Packet::udp(Ipv4Addr::new(10, 0, 1, i), server(), 1000 + u16::from(i), 9999, Bytes::new());
+                table.process(t(i as i64), &p);
+            }
+            table.flush()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.len(), 20);
+        assert_eq!(a, b);
+    }
+}

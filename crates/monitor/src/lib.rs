@@ -1,0 +1,58 @@
+//! # satwatch-monitor
+//!
+//! The paper's measurement contribution: a Tstat-style passive flow
+//! monitor for the SatCom ground-station span port (§2.2).
+//!
+//! * [`flowtable`] — 5-tuple flow tracking with per-direction
+//!   statistics, first-10-packet timing and idle eviction.
+//! * [`rtt`] — the two RTT estimators: data↔ACK matching for the
+//!   ground segment, and the TLS ServerHello→ClientKeyExchange trick
+//!   for the satellite segment.
+//! * [`dpi`] — protocol identification and domain extraction (TLS
+//!   SNI, HTTP Host, QUIC Initial SNI, DNS, RTP heuristics).
+//! * [`anon`] — CryptoPan prefix-preserving anonymization (with a
+//!   from-scratch Speck64/128 as the PRF; see DESIGN.md).
+//! * [`reassembly`] — bounded in-order TCP payload delivery feeding
+//!   the DPI/TLS path (out-of-order robustness).
+//! * [`rollup`] — streaming hourly aggregation with constant-memory
+//!   P² percentile tracking (the paper's §3.1 reduction step).
+//! * [`pcap`] — libpcap export/import with snap-length support, so the
+//!   simulated span traffic feeds real tools (Wireshark, real Tstat).
+//! * [`record`] — Tstat-like flow/DNS records with TSV round-trip.
+//! * [`probe`] — the composed probe: one `observe()` per packet,
+//!   `finish()` yields anonymized records.
+//!
+//! ```
+//! use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
+//! use satwatch_netstack::{Packet, Subnet};
+//! use satwatch_simcore::SimTime;
+//! use std::net::Ipv4Addr;
+//!
+//! let subnet = Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+//! let mut probe = Probe::new(ProbeConfig::new(FlowTableConfig::new(subnet)));
+//! let pkt = Packet::udp(
+//!     Ipv4Addr::new(10, 1, 2, 3),           // a customer CPE
+//!     Ipv4Addr::new(198, 18, 0, 1),         // an internet server
+//!     50_000, 443, bytes::Bytes::from_static(&[0; 64]),
+//! );
+//! probe.observe(SimTime::from_secs(1), &pkt);
+//! let (flows, _dns) = probe.finish();
+//! assert_eq!(flows.len(), 1);
+//! // the customer address left the probe anonymized
+//! assert_ne!(flows[0].client, Ipv4Addr::new(10, 1, 2, 3));
+//! ```
+
+pub mod anon;
+pub mod dpi;
+pub mod flowtable;
+pub mod pcap;
+pub mod probe;
+pub mod reassembly;
+pub mod rollup;
+pub mod record;
+pub mod rtt;
+
+pub use anon::CryptoPan;
+pub use flowtable::{Direction, FlowTable, FlowTableConfig};
+pub use probe::{Probe, ProbeConfig};
+pub use record::{DnsRecord, FlowRecord, L7Protocol, RttSummary};

@@ -1,0 +1,305 @@
+//! The complete passive probe: flow table + DNS transaction log +
+//! real-time CryptoPan anonymization, behind a single `observe()`
+//! entry point fed by the ground-station span port.
+//!
+//! Mirrors the paper's deployment (§2.2–2.3): packets are processed in
+//! real time, customer addresses are anonymized before anything is
+//! stored, and only flow-level summaries leave the probe.
+
+use crate::anon::CryptoPan;
+use crate::flowtable::{Direction, FlowTable, FlowTableConfig};
+use crate::record::{DnsRecord, FlowRecord};
+use satwatch_netstack::dns::DnsMessage;
+use satwatch_netstack::{Packet, Transport};
+use satwatch_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Probe configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeConfig {
+    pub flow_table: FlowTableConfig,
+    /// CryptoPan key seed. The operator holds the key; analyses only
+    /// ever see anonymized addresses.
+    pub anon_seed: u64,
+    /// How often to run the idle-flow sweep.
+    pub sweep_interval: SimDuration,
+    /// Unanswered DNS queries older than this are logged as timeouts.
+    pub dns_timeout: SimDuration,
+}
+
+/// Default CryptoPan key seed used when the operator does not supply
+/// one. Scenarios normally override this from their scenario seed.
+pub const DEFAULT_ANON_SEED: u64 = 0x5a70_57a7_c4a9_0001;
+
+impl ProbeConfig {
+    pub fn new(flow_table: FlowTableConfig) -> ProbeConfig {
+        ProbeConfig {
+            flow_table,
+            anon_seed: DEFAULT_ANON_SEED,
+            sweep_interval: SimDuration::from_secs(60),
+            dns_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Key of an in-flight DNS transaction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct DnsKey {
+    client: Ipv4Addr,
+    resolver: Ipv4Addr,
+    id: u16,
+}
+
+#[derive(Debug)]
+struct PendingDns {
+    query: String,
+    asked_at: SimTime,
+}
+
+/// The probe.
+pub struct Probe {
+    cfg: ProbeConfig,
+    table: FlowTable,
+    anon: CryptoPan,
+    pending_dns: HashMap<DnsKey, PendingDns>,
+    dns_log: Vec<DnsRecord>,
+    last_sweep: SimTime,
+    /// Total packets observed.
+    pub packets: u64,
+    /// Packets whose parse failed (should be zero in simulation).
+    pub parse_errors: u64,
+}
+
+impl Probe {
+    pub fn new(cfg: ProbeConfig) -> Probe {
+        Probe {
+            table: FlowTable::new(cfg.flow_table),
+            anon: CryptoPan::new(cfg.anon_seed),
+            pending_dns: HashMap::new(),
+            dns_log: Vec::new(),
+            last_sweep: SimTime::ZERO,
+            packets: 0,
+            parse_errors: 0,
+            cfg,
+        }
+    }
+
+    /// Observe one packet at the span port.
+    pub fn observe(&mut self, t: SimTime, pkt: &Packet) {
+        self.packets += 1;
+        self.table.process(t, pkt);
+        self.maybe_log_dns(t, pkt);
+        if t - self.last_sweep >= self.cfg.sweep_interval {
+            self.table.sweep(t);
+            self.expire_dns(t);
+            self.last_sweep = t;
+        }
+    }
+
+    /// Observe a packet from raw wire bytes (exercises the full parse
+    /// path; used where the feeding side serialises).
+    pub fn observe_wire(&mut self, t: SimTime, wire: &[u8]) {
+        match Packet::parse(wire) {
+            Ok(pkt) => self.observe(t, &pkt),
+            Err(_) => {
+                self.packets += 1;
+                self.parse_errors += 1;
+            }
+        }
+    }
+
+    fn maybe_log_dns(&mut self, t: SimTime, pkt: &Packet) {
+        let Transport::Udp(udp) = &pkt.transport else { return };
+        if udp.dst_port != 53 && udp.src_port != 53 {
+            return;
+        }
+        let Ok(msg) = DnsMessage::parse(&pkt.payload) else { return };
+        if !msg.is_response && udp.dst_port == 53 {
+            let Some(dir) = self.table.direction(pkt) else { return };
+            if dir != Direction::C2s {
+                return;
+            }
+            let key = DnsKey { client: pkt.ip.src, resolver: pkt.ip.dst, id: msg.id };
+            let query = msg.question.map(|(n, _)| n).unwrap_or_default();
+            self.pending_dns.insert(key, PendingDns { query, asked_at: t });
+        } else if msg.is_response && udp.src_port == 53 {
+            let key = DnsKey { client: pkt.ip.dst, resolver: pkt.ip.src, id: msg.id };
+            if let Some(pending) = self.pending_dns.remove(&key) {
+                let answers = msg
+                    .answers
+                    .iter()
+                    .filter_map(|a| match a {
+                        satwatch_netstack::dns::Answer::A { addr, .. } => Some(*addr),
+                        _ => None,
+                    })
+                    .collect();
+                self.dns_log.push(DnsRecord {
+                    client: self.anon.anonymize(key.client),
+                    resolver: key.resolver,
+                    query: pending.query,
+                    ts: pending.asked_at,
+                    response_ms: Some((t - pending.asked_at).as_millis_f64().max(0.0)),
+                    answers,
+                });
+            }
+        }
+    }
+
+    fn expire_dns(&mut self, t: SimTime) {
+        let timeout = self.cfg.dns_timeout;
+        let mut expired: Vec<DnsKey> = self
+            .pending_dns
+            .iter()
+            .filter(|(_, p)| t - p.asked_at > timeout)
+            .map(|(k, _)| k.clone())
+            .collect();
+        expired.sort_by(|a, b| (self.pending_dns[a].asked_at, a.client, a.id).cmp(&(self.pending_dns[b].asked_at, b.client, b.id)));
+        for k in expired {
+            let p = self.pending_dns.remove(&k).expect("expired entry present");
+            self.dns_log.push(DnsRecord {
+                client: self.anon.anonymize(k.client),
+                resolver: k.resolver,
+                query: p.query,
+                ts: p.asked_at,
+                response_ms: None,
+                answers: Vec::new(),
+            });
+        }
+    }
+
+    /// Finish the capture: flush all live flows and return anonymized
+    /// flow records and the DNS transaction log.
+    pub fn finish(mut self) -> (Vec<FlowRecord>, Vec<DnsRecord>) {
+        // flush unanswered DNS unconditionally: the capture is over, so
+        // every pending query is a timeout
+        let mut pending: Vec<(DnsKey, PendingDns)> = std::mem::take(&mut self.pending_dns).into_iter().collect();
+        pending.sort_by_key(|a| (a.1.asked_at, a.0.client, a.0.id));
+        for (k, p) in pending {
+            self.dns_log.push(DnsRecord {
+                client: self.anon.anonymize(k.client),
+                resolver: k.resolver,
+                query: p.query,
+                ts: p.asked_at,
+                response_ms: None,
+                answers: Vec::new(),
+            });
+        }
+        let mut flows = self.table.flush();
+        for f in &mut flows {
+            f.client = self.anon.anonymize(f.client);
+        }
+        // canonical output order regardless of eviction history
+        flows.sort_by_key(|f| (f.first, f.client, f.client_port, f.server, f.server_port));
+        let mut dns = self.dns_log;
+        dns.sort_by_key(|d| (d.ts, d.client, d.resolver, d.query.clone()));
+        (flows, dns)
+    }
+
+    pub fn active_flows(&self) -> usize {
+        self.table.active_flows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use satwatch_netstack::dns::{DnsMessage, RecordType};
+    use satwatch_netstack::Subnet;
+
+    fn probe() -> Probe {
+        let cfg = ProbeConfig::new(FlowTableConfig::new(Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 8)));
+        Probe::new(cfg)
+    }
+
+    fn t(ms: i64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn dns_transaction_logged_with_response_time() {
+        let mut p = probe();
+        let client = Ipv4Addr::new(10, 5, 5, 5);
+        let resolver = Ipv4Addr::new(8, 8, 8, 8);
+        let q = DnsMessage::query(77, "play.googleapis.com", RecordType::A);
+        let qp = Packet::udp(client, resolver, 44_000, 53, q.encode());
+        p.observe(t(1000), &qp);
+        let r = DnsMessage::answer_a(&q, &[Ipv4Addr::new(198, 18, 0, 9)], 300);
+        let rp = Packet::udp(resolver, client, 53, 44_000, r.encode());
+        p.observe(t(1022), &rp);
+        let (_flows, dns) = p.finish();
+        assert_eq!(dns.len(), 1);
+        let d = &dns[0];
+        assert_eq!(d.query, "play.googleapis.com");
+        assert_eq!(d.resolver, resolver);
+        assert!((d.response_ms.unwrap() - 22.0).abs() < 1e-6);
+        assert_eq!(d.answers, vec![Ipv4Addr::new(198, 18, 0, 9)]);
+        assert_ne!(d.client, client, "client must be anonymized");
+    }
+
+    #[test]
+    fn unanswered_dns_logged_as_timeout() {
+        let mut p = probe();
+        let client = Ipv4Addr::new(10, 5, 5, 6);
+        let q = DnsMessage::query(5, "dead.example", RecordType::A);
+        p.observe(t(0), &Packet::udp(client, Ipv4Addr::new(1, 1, 1, 1), 40_000, 53, q.encode()));
+        let (_, dns) = p.finish();
+        assert_eq!(dns.len(), 1);
+        assert_eq!(dns[0].response_ms, None);
+        assert!(dns[0].answers.is_empty());
+    }
+
+    #[test]
+    fn mismatched_dns_id_not_matched() {
+        let mut p = probe();
+        let client = Ipv4Addr::new(10, 5, 5, 7);
+        let resolver = Ipv4Addr::new(8, 8, 8, 8);
+        let q = DnsMessage::query(1, "a.example", RecordType::A);
+        p.observe(t(0), &Packet::udp(client, resolver, 40_000, 53, q.encode()));
+        let mut r = DnsMessage::answer_a(&q, &[Ipv4Addr::new(9, 9, 9, 9)], 60);
+        r.id = 2; // wrong transaction id (spoof/bug)
+        p.observe(t(10), &Packet::udp(resolver, client, 53, 40_000, r.encode()));
+        let (_, dns) = p.finish();
+        assert_eq!(dns.len(), 1);
+        assert_eq!(dns[0].response_ms, None, "unmatched response → query times out");
+    }
+
+    #[test]
+    fn flow_clients_anonymized_prefix_preserving() {
+        let mut p = probe();
+        let c1 = Ipv4Addr::new(10, 77, 0, 1);
+        let c2 = Ipv4Addr::new(10, 77, 0, 2);
+        let srv = Ipv4Addr::new(198, 18, 0, 1);
+        p.observe(t(0), &Packet::udp(c1, srv, 1000, 8000, Bytes::from_static(&[0; 10])));
+        p.observe(t(1), &Packet::udp(c2, srv, 1000, 8000, Bytes::from_static(&[0; 10])));
+        let (flows, _) = p.finish();
+        assert_eq!(flows.len(), 2);
+        assert_ne!(flows[0].client, c1);
+        let shared = satwatch_netstack::ip::common_prefix_len(flows[0].client, flows[1].client);
+        assert_eq!(shared, satwatch_netstack::ip::common_prefix_len(c1, c2));
+    }
+
+    #[test]
+    fn observe_wire_parses_and_counts_errors() {
+        let mut p = probe();
+        let pkt = Packet::udp(Ipv4Addr::new(10, 1, 1, 1), Ipv4Addr::new(198, 18, 0, 1), 1, 2, Bytes::new());
+        p.observe_wire(t(0), &pkt.encode());
+        p.observe_wire(t(1), &[0xde, 0xad]);
+        assert_eq!(p.packets, 2);
+        assert_eq!(p.parse_errors, 1);
+        assert_eq!(p.active_flows(), 1);
+    }
+
+    #[test]
+    fn sweep_runs_on_interval() {
+        let mut p = probe();
+        let c = Ipv4Addr::new(10, 1, 1, 1);
+        let srv = Ipv4Addr::new(198, 18, 0, 1);
+        p.observe(t(0), &Packet::udp(c, srv, 1, 2, Bytes::new()));
+        // 10 minutes later another packet triggers the sweep, evicting
+        // the idle flow
+        p.observe(t(600_000), &Packet::udp(c, srv, 3, 4, Bytes::new()));
+        assert_eq!(p.active_flows(), 1, "old flow evicted, new one live");
+    }
+}

@@ -1,0 +1,267 @@
+//! In-order TCP payload delivery for the DPI path.
+//!
+//! The probe's DPI and TLS-handshake estimator need the byte stream in
+//! order: a ClientHello split across two segments arriving swapped
+//! must still parse. Real capture pipelines (Tstat included) keep a
+//! small per-flow reassembly buffer for exactly this; ours delivers
+//! contiguous payload as it becomes available, with three guardrails:
+//!
+//! * the out-of-order buffer is capped (`MAX_BUFFERED` bytes) — a hole
+//!   that never fills cannot pin memory: the stream skips forward;
+//! * only the first `INSPECT_LIMIT` bytes of a stream are delivered —
+//!   DPI decisions are made on flow heads (paper §2.2), so bulk data
+//!   bypasses reassembly entirely;
+//! * duplicate and overlapping segments are trimmed, never re-delivered.
+//!
+//! Internally every segment is mapped to a *stream offset* relative to
+//! the first byte seen on the direction, so sequence-number wraparound
+//! within the inspected head is a non-issue.
+
+use bytes::Bytes;
+use satwatch_netstack::SeqNum;
+use std::collections::BTreeMap;
+
+/// Out-of-order buffer cap per direction, bytes.
+const MAX_BUFFERED: usize = 262_144;
+/// Deliver at most this much stream per direction (DPI inspects heads).
+const INSPECT_LIMIT: u64 = 131_072;
+
+/// Per-direction reassembler.
+#[derive(Debug, Default)]
+pub struct StreamReassembler {
+    /// Sequence number of stream offset 0 (first segment seen).
+    base: Option<SeqNum>,
+    /// Next expected stream offset.
+    next_off: u64,
+    /// Out-of-order segments keyed by stream offset.
+    pending: BTreeMap<u64, Bytes>,
+    pending_bytes: usize,
+    delivered: u64,
+    /// Segments dropped because the buffer was full (telemetry).
+    pub dropped_segments: u64,
+}
+
+impl StreamReassembler {
+    pub fn new() -> StreamReassembler {
+        StreamReassembler::default()
+    }
+
+    /// Anchor the stream at a known first byte (the SYN's ISN + 1).
+    /// Without this, the first *observed* payload segment becomes the
+    /// anchor and anything before it is unrecoverable — exactly what a
+    /// mid-capture Tstat does too. No-op once anchored.
+    pub fn set_base(&mut self, first_byte: SeqNum) {
+        if self.base.is_none() {
+            self.base = Some(first_byte);
+        }
+    }
+
+    /// Insert one segment; returns the contiguous chunks now
+    /// deliverable, in stream order.
+    pub fn insert(&mut self, seq: SeqNum, payload: &Bytes) -> Vec<Bytes> {
+        if payload.is_empty() || self.delivered >= INSPECT_LIMIT {
+            return Vec::new();
+        }
+        let base = *self.base.get_or_insert(seq);
+        let rel = i64::from(seq.distance(base));
+        if rel < 0 {
+            // data from before the observed stream head: a
+            // retransmission of bytes we never saw — nothing the DPI
+            // can anchor to; drop.
+            return Vec::new();
+        }
+        let off = rel as u64;
+        if off <= self.next_off {
+            let skip = (self.next_off - off) as usize;
+            if skip >= payload.len() {
+                return Vec::new(); // fully duplicate
+            }
+            self.deliver_from(self.next_off, payload.slice(skip..))
+        } else {
+            // future segment: buffer, bounded
+            if self.pending_bytes + payload.len() > MAX_BUFFERED {
+                self.dropped_segments += 1;
+                // the hole may never fill: skip the stream forward so
+                // inspection continues on fresh data
+                self.pending.clear();
+                self.pending_bytes = 0;
+                self.next_off = off;
+                self.deliver_from(off, payload.clone())
+            } else {
+                self.pending_bytes += payload.len();
+                self.pending.entry(off).or_insert_with(|| payload.clone());
+                Vec::new()
+            }
+        }
+    }
+
+    /// Deliver `chunk` at stream offset `at` (== self.next_off), then
+    /// drain any pending segments that became contiguous.
+    fn deliver_from(&mut self, at: u64, chunk: Bytes) -> Vec<Bytes> {
+        debug_assert_eq!(at, self.next_off);
+        let mut out = Vec::new();
+        self.push_chunk(chunk, &mut out);
+        while let Some((&off, _)) = self.pending.iter().next() {
+            if off > self.next_off {
+                break; // still a hole
+            }
+            let seg = self.pending.remove(&off).expect("present");
+            self.pending_bytes -= seg.len();
+            let skip = (self.next_off - off) as usize;
+            if skip < seg.len() {
+                self.push_chunk(seg.slice(skip..), &mut out);
+            }
+        }
+        out
+    }
+
+    fn push_chunk(&mut self, chunk: Bytes, out: &mut Vec<Bytes>) {
+        let take = chunk.len().min((INSPECT_LIMIT - self.delivered) as usize);
+        self.next_off += chunk.len() as u64;
+        if take > 0 {
+            self.delivered += take as u64;
+            out.push(chunk.slice(0..take));
+        }
+    }
+
+    /// Total in-order bytes delivered so far.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    fn collect(chunks: Vec<Bytes>) -> Vec<u8> {
+        chunks.into_iter().flat_map(|c| c.to_vec()).collect()
+    }
+
+    #[test]
+    fn in_order_fast_path() {
+        let mut r = StreamReassembler::new();
+        let d1 = r.insert(SeqNum(100), &b(b"hello "));
+        let d2 = r.insert(SeqNum(106), &b(b"world"));
+        assert_eq!(collect(d1), b"hello ");
+        assert_eq!(collect(d2), b"world");
+        assert_eq!(r.delivered_bytes(), 11);
+    }
+
+    #[test]
+    fn out_of_order_two_segments() {
+        let mut r = StreamReassembler::new();
+        let d0 = r.insert(SeqNum(100), &b(b"AB"));
+        assert_eq!(collect(d0), b"AB");
+        let d1 = r.insert(SeqNum(106), &b(b"world"));
+        assert!(d1.is_empty(), "future segment buffered");
+        let d2 = r.insert(SeqNum(102), &b(b"CDhl"));
+        assert_eq!(collect(d2), b"CDhlworld", "hole filled, both delivered");
+        assert_eq!(r.delivered_bytes(), 11);
+    }
+
+    #[test]
+    fn three_way_shuffle() {
+        let mut r = StreamReassembler::new();
+        assert!(collect(r.insert(SeqNum(0), &b(b"AA"))) == b"AA");
+        assert!(r.insert(SeqNum(6), &b(b"DD")).is_empty());
+        assert!(r.insert(SeqNum(4), &b(b"CC")).is_empty());
+        let d = r.insert(SeqNum(2), &b(b"BB"));
+        assert_eq!(collect(d), b"BBCCDD");
+    }
+
+    #[test]
+    fn duplicates_not_redelivered() {
+        let mut r = StreamReassembler::new();
+        r.insert(SeqNum(0), &b(b"0123456789"));
+        let dup = r.insert(SeqNum(0), &b(b"0123456789"));
+        assert!(dup.is_empty());
+        let tail = r.insert(SeqNum(5), &b(b"56789abc"));
+        assert_eq!(collect(tail), b"abc");
+    }
+
+    #[test]
+    fn overlapping_pending_segments_trimmed() {
+        let mut r = StreamReassembler::new();
+        r.insert(SeqNum(0), &b(b"XX")); // head 0..2
+        assert!(r.insert(SeqNum(4), &b(b"4567")).is_empty()); // 4..8
+        assert!(r.insert(SeqNum(6), &b(b"67ab")).is_empty()); // overlaps 6..10
+        let d = r.insert(SeqNum(2), &b(b"23")); // fills the hole
+        assert_eq!(collect(d), b"234567ab");
+    }
+
+    #[test]
+    fn pre_head_retransmission_dropped() {
+        let mut r = StreamReassembler::new();
+        r.insert(SeqNum(1000), &b(b"head"));
+        let d = r.insert(SeqNum(500), &b(b"old data"));
+        assert!(d.is_empty());
+        assert_eq!(r.delivered_bytes(), 4);
+    }
+
+    #[test]
+    fn tls_record_split_across_segments_reassembles() {
+        use satwatch_netstack::tls;
+        let ch = tls::client_hello("split.example.com", [7; 32]);
+        let (a, rest) = ch.split_at(40);
+        let mut r = StreamReassembler::new();
+        // the SYN anchored the stream (ISN 0 → first byte 1) …
+        r.set_base(SeqNum(1));
+        // … so even segments arriving swapped reassemble
+        let d1 = r.insert(SeqNum(1 + 40), &Bytes::copy_from_slice(rest));
+        assert!(d1.is_empty());
+        let d2 = r.insert(SeqNum(1), &Bytes::copy_from_slice(a));
+        let stream = collect(d2);
+        assert_eq!(stream.len(), ch.len());
+        let (rec, _) = tls::parse_record(&stream).unwrap();
+        assert_eq!(tls::extract_sni(rec.body).as_deref(), Some("split.example.com"));
+    }
+
+    #[test]
+    fn set_base_is_idempotent_and_first_wins() {
+        let mut r = StreamReassembler::new();
+        r.set_base(SeqNum(100));
+        r.set_base(SeqNum(999)); // ignored
+        let d = r.insert(SeqNum(100), &b(b"hi"));
+        assert_eq!(collect(d), b"hi");
+    }
+
+    #[test]
+    fn buffer_cap_skips_forward() {
+        let mut r = StreamReassembler::new();
+        r.insert(SeqNum(0), &b(b"x"));
+        let big = Bytes::from(vec![0u8; 100_000]);
+        r.insert(SeqNum(10_000), &big);
+        r.insert(SeqNum(200_000), &big);
+        let d = r.insert(SeqNum(400_000), &big);
+        assert!(!d.is_empty(), "stream skipped past the unfillable hole");
+        assert_eq!(r.dropped_segments, 1);
+    }
+
+    #[test]
+    fn inspect_limit_stops_delivery() {
+        let mut r = StreamReassembler::new();
+        let chunk = Bytes::from(vec![1u8; 60_000]);
+        let mut total = 0;
+        for i in 0..5u32 {
+            let d = r.insert(SeqNum(i * 60_000), &chunk);
+            total += collect(d).len();
+        }
+        assert!(total as u64 <= INSPECT_LIMIT);
+        assert_eq!(r.delivered_bytes(), INSPECT_LIMIT);
+        let d = r.insert(SeqNum(999_999), &chunk);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_payloads_ignored() {
+        let mut r = StreamReassembler::new();
+        assert!(r.insert(SeqNum(5), &Bytes::new()).is_empty());
+        let d = r.insert(SeqNum(9), &b(b"ok"));
+        assert_eq!(collect(d), b"ok");
+    }
+}

@@ -1,0 +1,250 @@
+//! The composed packet type moved through the simulated network, plus
+//! full-datagram wire serialisation used by the monitor-facing span
+//! port and by the property tests.
+
+use crate::ip::{proto, Ipv4Header, ParseError, IPV4_HEADER_LEN};
+use crate::tcp::{TcpFlags, TcpHeader};
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+use bytes::{Bytes, BytesMut};
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// L4 header of a simulated packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Transport {
+    Tcp(TcpHeader),
+    Udp(UdpHeader),
+}
+
+impl Transport {
+    pub fn src_port(&self) -> u16 {
+        match self {
+            Transport::Tcp(t) => t.src_port,
+            Transport::Udp(u) => u.src_port,
+        }
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        match self {
+            Transport::Tcp(t) => t.dst_port,
+            Transport::Udp(u) => u.dst_port,
+        }
+    }
+
+    pub fn protocol(&self) -> u8 {
+        match self {
+            Transport::Tcp(_) => proto::TCP,
+            Transport::Udp(_) => proto::UDP,
+        }
+    }
+}
+
+/// A full simulated packet: IPv4 + transport + opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    pub ip: Ipv4Header,
+    pub transport: Transport,
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Build a TCP packet, fixing up the IP total length.
+    pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, tcp: TcpHeader, payload: Bytes) -> Packet {
+        let l4_len = tcp.wire_len() + payload.len();
+        Packet { ip: Ipv4Header::new(src, dst, proto::TCP, l4_len), transport: Transport::Tcp(tcp), payload }
+    }
+
+    /// Build a UDP packet, fixing up both length fields.
+    pub fn udp(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Bytes) -> Packet {
+        let udp = UdpHeader::new(src_port, dst_port, payload.len());
+        let l4_len = UDP_HEADER_LEN + payload.len();
+        Packet { ip: Ipv4Header::new(src, dst, proto::UDP, l4_len), transport: Transport::Udp(udp), payload }
+    }
+
+    /// Convenience: a bare TCP control packet (SYN/ACK/FIN/RST).
+    pub fn tcp_control(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, flags: TcpFlags) -> Packet {
+        Packet::tcp(src, dst, TcpHeader::new(src_port, dst_port, flags), Bytes::new())
+    }
+
+    /// Total on-the-wire length in bytes (IP header + L4 + payload).
+    pub fn wire_len(&self) -> usize {
+        IPV4_HEADER_LEN
+            + match &self.transport {
+                Transport::Tcp(t) => t.wire_len(),
+                Transport::Udp(_) => UDP_HEADER_LEN,
+            }
+            + self.payload.len()
+    }
+
+    /// L4 payload length.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    pub fn five_tuple(&self) -> FiveTuple {
+        FiveTuple {
+            src: self.ip.src,
+            dst: self.ip.dst,
+            src_port: self.transport.src_port(),
+            dst_port: self.transport.dst_port(),
+            protocol: self.transport.protocol(),
+        }
+    }
+
+    /// Serialise the full datagram.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_len());
+        let mut ip = self.ip;
+        ip.total_len = self.wire_len() as u16;
+        b.extend_from_slice(&ip.encode());
+        match &self.transport {
+            Transport::Tcp(t) => b.extend_from_slice(&t.encode()),
+            Transport::Udp(u) => {
+                let mut u = *u;
+                u.length = (UDP_HEADER_LEN + self.payload.len()) as u16;
+                b.extend_from_slice(&u.encode());
+            }
+        }
+        b.extend_from_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parse a full datagram.
+    pub fn parse(buf: &[u8]) -> Result<Packet, ParseError> {
+        let (ip, ip_len) = Ipv4Header::parse(buf)?;
+        let total = (ip.total_len as usize).min(buf.len());
+        let l4 = &buf[ip_len..total];
+        match ip.protocol {
+            proto::TCP => {
+                let (tcp, used) = TcpHeader::parse(l4)?;
+                Ok(Packet {
+                    ip,
+                    transport: Transport::Tcp(tcp),
+                    payload: Bytes::copy_from_slice(&l4[used..]),
+                })
+            }
+            proto::UDP => {
+                let (udp, used) = UdpHeader::parse(l4)?;
+                Ok(Packet {
+                    ip,
+                    transport: Transport::Udp(udp),
+                    payload: Bytes::copy_from_slice(&l4[used..]),
+                })
+            }
+            _ => Err(ParseError::BadField("unsupported protocol")),
+        }
+    }
+}
+
+/// The classic 5-tuple flow key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: u8,
+}
+
+impl FiveTuple {
+    /// The same flow seen from the opposite direction.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A direction-independent key: both directions of a flow map to
+    /// the same canonical tuple (the lexicographically smaller end
+    /// first).
+    pub fn canonical(&self) -> FiveTuple {
+        let a = (self.src, self.src_port);
+        let b = (self.dst, self.dst_port);
+        if a <= b { *self } else { self.reversed() }
+    }
+}
+
+impl fmt::Debug for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.protocol {
+            proto::TCP => "tcp",
+            proto::UDP => "udp",
+            _ => "?",
+        };
+        write!(f, "{p} {}:{} > {}:{}", self.src, self.src_port, self.dst, self.dst_port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::SeqNum;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn tcp_packet_round_trip() {
+        let mut th = TcpHeader::new(443, 55_000, TcpFlags::PSH_ACK);
+        th.seq = SeqNum(1000);
+        th.ack = SeqNum(2000);
+        let p = Packet::tcp(addr(1), addr(2), th, Bytes::from_static(b"data!"));
+        let wire = p.encode();
+        assert_eq!(wire.len(), p.wire_len());
+        let parsed = Packet::parse(&wire).unwrap();
+        assert_eq!(parsed.five_tuple(), p.five_tuple());
+        assert_eq!(parsed.payload, p.payload);
+        match parsed.transport {
+            Transport::Tcp(t) => {
+                assert_eq!(t.seq, SeqNum(1000));
+                assert_eq!(t.flags, TcpFlags::PSH_ACK);
+            }
+            _ => panic!("wrong transport"),
+        }
+    }
+
+    #[test]
+    fn udp_packet_round_trip() {
+        let p = Packet::udp(addr(3), addr(4), 40_000, 53, Bytes::from_static(&[1, 2, 3]));
+        let parsed = Packet::parse(&p.encode()).unwrap();
+        assert_eq!(parsed.five_tuple().dst_port, 53);
+        assert_eq!(parsed.payload.as_ref(), &[1, 2, 3]);
+        assert_eq!(parsed.wire_len(), 20 + 8 + 3);
+    }
+
+    #[test]
+    fn five_tuple_directions() {
+        let p = Packet::udp(addr(1), addr(2), 1111, 53, Bytes::new());
+        let ft = p.five_tuple();
+        let rev = ft.reversed();
+        assert_eq!(rev.src, addr(2));
+        assert_eq!(rev.dst_port, 1111);
+        assert_eq!(ft.canonical(), rev.canonical());
+        assert_ne!(ft, rev);
+    }
+
+    #[test]
+    fn control_packet_has_no_payload() {
+        let p = Packet::tcp_control(addr(1), addr(2), 5, 6, TcpFlags::SYN);
+        assert_eq!(p.payload_len(), 0);
+        assert_eq!(p.wire_len(), 40);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_protocol() {
+        let hdr = Ipv4Header::new(addr(1), addr(2), 47 /* GRE */, 0);
+        let wire = hdr.encode();
+        assert_eq!(Packet::parse(&wire).unwrap_err(), ParseError::BadField("unsupported protocol"));
+    }
+
+    #[test]
+    fn debug_format() {
+        let p = Packet::udp(addr(9), addr(8), 1234, 53, Bytes::new());
+        assert_eq!(format!("{:?}", p.five_tuple()), "udp 10.0.0.9:1234 > 10.0.0.8:53");
+    }
+}

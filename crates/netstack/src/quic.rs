@@ -1,0 +1,276 @@
+//! QUIC v1 packet framing — enough for passive SNI extraction.
+//!
+//! QUIC carries 19.6 % of the paper's traffic (Table 1) and, crucially,
+//! *bypasses the PEP* (it rides UDP). Tstat identifies QUIC flows and
+//! extracts the SNI from the TLS ClientHello inside the Initial
+//! packet's CRYPTO frame.
+//!
+//! **Simplification documented in DESIGN.md:** real QUIC Initials are
+//! encrypted with keys derived from the Destination Connection ID via
+//! HKDF; passive monitors derive the same keys and decrypt. Since no
+//! approved crate provides TLS crypto, our Initials carry the CRYPTO
+//! frame in the clear. The *parsing structure* (long header, varint
+//! lengths, CID handling, CRYPTO frame walk, embedded ClientHello) is
+//! faithful, so the monitor exercises the same code path a decrypting
+//! implementation would after decryption.
+
+use crate::ip::ParseError;
+use crate::tls;
+use bytes::{BufMut, Bytes, BytesMut};
+
+pub const QUIC_V1: u32 = 0x0000_0001;
+
+/// QUIC long-header packet types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LongType {
+    Initial,
+    Handshake,
+    ZeroRtt,
+    Retry,
+}
+
+impl LongType {
+    fn bits(self) -> u8 {
+        match self {
+            LongType::Initial => 0b00,
+            LongType::ZeroRtt => 0b01,
+            LongType::Handshake => 0b10,
+            LongType::Retry => 0b11,
+        }
+    }
+
+    fn from_bits(b: u8) -> LongType {
+        match b & 0b11 {
+            0b00 => LongType::Initial,
+            0b01 => LongType::ZeroRtt,
+            0b10 => LongType::Handshake,
+            _ => LongType::Retry,
+        }
+    }
+}
+
+/// Encode a QUIC variable-length integer.
+pub fn put_varint(b: &mut BytesMut, v: u64) {
+    match v {
+        0..=0x3f => b.put_u8(v as u8),
+        0x40..=0x3fff => b.put_u16(0x4000 | v as u16),
+        0x4000..=0x3fff_ffff => b.put_u32(0x8000_0000 | v as u32),
+        _ => b.put_u64(0xc000_0000_0000_0000 | v),
+    }
+}
+
+/// Decode a QUIC varint from `buf`; returns (value, bytes consumed).
+pub fn get_varint(buf: &[u8]) -> Result<(u64, usize), ParseError> {
+    let first = *buf.first().ok_or(ParseError::Truncated { needed: 1, got: 0 })?;
+    let len = 1usize << (first >> 6);
+    if buf.len() < len {
+        return Err(ParseError::Truncated { needed: len, got: buf.len() });
+    }
+    let mut v = u64::from(first & 0x3f);
+    for &byte in &buf[1..len] {
+        v = (v << 8) | u64::from(byte);
+    }
+    Ok((v, len))
+}
+
+/// Build a QUIC Initial packet whose CRYPTO frame carries a TLS
+/// ClientHello with `sni`.
+pub fn initial_with_sni(dcid: &[u8], scid: &[u8], sni: &str, random: [u8; 32]) -> Bytes {
+    assert!(dcid.len() <= 20 && scid.len() <= 20);
+    // CRYPTO frame: type 0x06, offset varint, length varint, data.
+    // The data is the TLS handshake message (without record framing,
+    // per RFC 9001 §4; we reuse the record builder and strip the
+    // 5-byte record header).
+    let ch_record = tls::client_hello(sni, random);
+    let ch = &ch_record[tls::RECORD_HEADER_LEN..];
+    let mut payload = BytesMut::new();
+    payload.put_u8(0x06);
+    put_varint(&mut payload, 0);
+    put_varint(&mut payload, ch.len() as u64);
+    payload.put_slice(ch);
+    // PADDING frames to the minimum Initial size clients use (1200B UDP
+    // datagram); keep the header contribution in mind but exactness is
+    // not required for DPI.
+    while payload.len() < 1150 {
+        payload.put_u8(0x00);
+    }
+
+    let mut b = BytesMut::new();
+    b.put_u8(0b1100_0000 | (LongType::Initial.bits() << 4)); // fixed bit + long header
+    b.put_u32(QUIC_V1);
+    b.put_u8(dcid.len() as u8);
+    b.put_slice(dcid);
+    b.put_u8(scid.len() as u8);
+    b.put_slice(scid);
+    put_varint(&mut b, 0); // token length
+    put_varint(&mut b, payload.len() as u64 + 1); // length = pn + payload
+    b.put_u8(0); // packet number (1 byte)
+    b.put_slice(&payload);
+    b.freeze()
+}
+
+/// Build a QUIC short-header (1-RTT) packet of `len` payload bytes.
+pub fn short_packet(dcid: &[u8], len: usize, fill: u8) -> Bytes {
+    let mut b = BytesMut::with_capacity(1 + dcid.len() + 1 + len);
+    b.put_u8(0b0100_0000); // fixed bit, short header
+    b.put_slice(dcid);
+    b.put_u8(0); // packet number
+    b.put_bytes(fill, len);
+    b.freeze()
+}
+
+/// A parsed QUIC long header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LongHeader {
+    pub ty: LongType,
+    pub version: u32,
+    pub dcid: Vec<u8>,
+    pub scid: Vec<u8>,
+    /// Offset of the packet payload (after packet number).
+    pub payload_offset: usize,
+    pub payload_len: usize,
+}
+
+/// True if this UDP payload looks like any QUIC packet (long or short
+/// header with the fixed bit set).
+pub fn looks_like_quic(buf: &[u8]) -> bool {
+    matches!(buf.first(), Some(b) if b & 0x40 != 0)
+}
+
+/// Parse a long header from a UDP payload.
+pub fn parse_long_header(buf: &[u8]) -> Result<LongHeader, ParseError> {
+    let first = *buf.first().ok_or(ParseError::Truncated { needed: 1, got: 0 })?;
+    if first & 0x80 == 0 {
+        return Err(ParseError::BadField("not a long header"));
+    }
+    if first & 0x40 == 0 {
+        return Err(ParseError::BadField("quic fixed bit"));
+    }
+    if buf.len() < 7 {
+        return Err(ParseError::Truncated { needed: 7, got: buf.len() });
+    }
+    let version = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    let mut i = 5;
+    let dcil = buf[i] as usize;
+    i += 1;
+    if dcil > 20 || buf.len() < i + dcil + 1 {
+        return Err(ParseError::BadField("quic dcid"));
+    }
+    let dcid = buf[i..i + dcil].to_vec();
+    i += dcil;
+    let scil = buf[i] as usize;
+    i += 1;
+    if scil > 20 || buf.len() < i + scil {
+        return Err(ParseError::BadField("quic scid"));
+    }
+    let scid = buf[i..i + scil].to_vec();
+    i += scil;
+    let ty = LongType::from_bits(first >> 4);
+    if ty == LongType::Initial {
+        let (token_len, used) = get_varint(&buf[i..])?;
+        i += used + token_len as usize;
+    }
+    let (length, used) = get_varint(buf.get(i..).ok_or(ParseError::Truncated { needed: i + 1, got: buf.len() })?)?;
+    i += used;
+    // 1-byte packet number in our encoding
+    let payload_offset = i + 1;
+    let payload_len = (length as usize).saturating_sub(1);
+    if buf.len() < payload_offset + payload_len {
+        return Err(ParseError::Truncated { needed: payload_offset + payload_len, got: buf.len() });
+    }
+    Ok(LongHeader { ty, version, dcid, scid, payload_offset, payload_len })
+}
+
+/// Extract the SNI from a QUIC Initial packet, walking CRYPTO frames.
+pub fn extract_sni(udp_payload: &[u8]) -> Option<String> {
+    let hdr = parse_long_header(udp_payload).ok()?;
+    if hdr.ty != LongType::Initial {
+        return None;
+    }
+    let payload = &udp_payload[hdr.payload_offset..hdr.payload_offset + hdr.payload_len];
+    let mut i = 0;
+    while i < payload.len() {
+        match payload[i] {
+            0x00 => i += 1, // PADDING
+            0x01 => i += 1, // PING
+            0x06 => {
+                i += 1;
+                let (_off, u1) = get_varint(&payload[i..]).ok()?;
+                i += u1;
+                let (len, u2) = get_varint(&payload[i..]).ok()?;
+                i += u2;
+                let data = payload.get(i..i + len as usize)?;
+                return tls::extract_sni(data);
+            }
+            _ => return None, // unknown frame: bail out like a DPI would
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        let mut b = BytesMut::new();
+        for v in [0u64, 63, 64, 16_383, 16_384, 1_073_741_823, 1_073_741_824, u64::MAX >> 2] {
+            b.clear();
+            put_varint(&mut b, v);
+            let (got, used) = get_varint(&b).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, b.len());
+        }
+    }
+
+    #[test]
+    fn varint_lengths() {
+        let mut b = BytesMut::new();
+        put_varint(&mut b, 63);
+        assert_eq!(b.len(), 1);
+        b.clear();
+        put_varint(&mut b, 64);
+        assert_eq!(b.len(), 2);
+        b.clear();
+        put_varint(&mut b, 20_000);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn initial_sni_round_trip() {
+        let p = initial_with_sni(&[1, 2, 3, 4, 5, 6, 7, 8], &[9, 9], "www.youtube.com", [3; 32]);
+        assert!(p.len() >= 1150, "client Initials are padded");
+        assert!(looks_like_quic(&p));
+        let hdr = parse_long_header(&p).unwrap();
+        assert_eq!(hdr.ty, LongType::Initial);
+        assert_eq!(hdr.version, QUIC_V1);
+        assert_eq!(hdr.dcid, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(extract_sni(&p).as_deref(), Some("www.youtube.com"));
+    }
+
+    #[test]
+    fn short_packets_are_quic_but_not_long() {
+        let p = short_packet(&[1, 2, 3, 4], 100, 0xab);
+        assert!(looks_like_quic(&p));
+        assert_eq!(parse_long_header(&p).unwrap_err(), ParseError::BadField("not a long header"));
+        assert_eq!(extract_sni(&p), None);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(!looks_like_quic(&[0x00, 0x01]));
+        assert!(parse_long_header(&[]).is_err());
+        assert_eq!(extract_sni(&[0xff; 8]), None);
+    }
+
+    #[test]
+    fn non_initial_long_header_has_no_sni() {
+        // Handshake-type long header with our builder's layout
+        let mut p = initial_with_sni(&[1; 8], &[2; 4], "x.example", [0; 32]).to_vec();
+        p[0] = 0b1100_0000 | (LongType::Handshake.bits() << 4);
+        // Handshake packets have no token-length field, so reparse may
+        // fail or return no SNI; either way extract_sni yields None.
+        assert_eq!(extract_sni(&p), None);
+    }
+}

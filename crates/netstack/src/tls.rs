@@ -1,0 +1,420 @@
+//! TLS 1.2 record and handshake message encoding/decoding.
+//!
+//! The monitor needs exactly what Tstat needs from TLS:
+//! * the SNI host name from the ClientHello, and
+//! * recognition of ServerHello and ClientKeyExchange/ChangeCipherSpec
+//!   messages, whose time gap at the ground station measures the
+//!   satellite-segment RTT (paper §2.2, Figure 1).
+//!
+//! We implement a faithful subset of the TLS 1.2 wire format: record
+//! layer framing, ClientHello with extensions (SNI), ServerHello,
+//! Certificate (opaque), ServerHelloDone, ClientKeyExchange (opaque),
+//! ChangeCipherSpec, Finished (opaque), ApplicationData. Payload
+//! crypto is not simulated — record bodies after the handshake are
+//! random-filled, which is indistinguishable to a passive monitor.
+
+use crate::ip::ParseError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// TLS record content types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContentType {
+    ChangeCipherSpec,
+    Alert,
+    Handshake,
+    ApplicationData,
+}
+
+impl ContentType {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Option<ContentType> {
+        Some(match v {
+            20 => ContentType::ChangeCipherSpec,
+            21 => ContentType::Alert,
+            22 => ContentType::Handshake,
+            23 => ContentType::ApplicationData,
+            _ => return None,
+        })
+    }
+}
+
+/// TLS handshake message types we model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandshakeType {
+    ClientHello,
+    ServerHello,
+    Certificate,
+    ServerHelloDone,
+    ClientKeyExchange,
+    Finished,
+}
+
+impl HandshakeType {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            HandshakeType::ClientHello => 1,
+            HandshakeType::ServerHello => 2,
+            HandshakeType::Certificate => 11,
+            HandshakeType::ServerHelloDone => 14,
+            HandshakeType::ClientKeyExchange => 16,
+            HandshakeType::Finished => 20,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Option<HandshakeType> {
+        Some(match v {
+            1 => HandshakeType::ClientHello,
+            2 => HandshakeType::ServerHello,
+            11 => HandshakeType::Certificate,
+            14 => HandshakeType::ServerHelloDone,
+            16 => HandshakeType::ClientKeyExchange,
+            20 => HandshakeType::Finished,
+            _ => return None,
+        })
+    }
+}
+
+const TLS12: [u8; 2] = [0x03, 0x03];
+pub const RECORD_HEADER_LEN: usize = 5;
+
+/// Frame `body` as a single TLS record.
+pub fn record(content: ContentType, body: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(RECORD_HEADER_LEN + body.len());
+    b.put_u8(content.to_u8());
+    b.put_slice(&TLS12);
+    b.put_u16(body.len() as u16);
+    b.put_slice(body);
+    b.freeze()
+}
+
+/// A parsed TLS record (borrowing the body).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Record<'a> {
+    pub content: ContentType,
+    pub body: &'a [u8],
+}
+
+/// Parse one record from the head of `buf`; returns the record and
+/// the total bytes consumed.
+pub fn parse_record(buf: &[u8]) -> Result<(Record<'_>, usize), ParseError> {
+    if buf.len() < RECORD_HEADER_LEN {
+        return Err(ParseError::Truncated { needed: RECORD_HEADER_LEN, got: buf.len() });
+    }
+    let content = ContentType::from_u8(buf[0]).ok_or(ParseError::BadField("tls content type"))?;
+    if buf[1] != 0x03 {
+        return Err(ParseError::BadField("tls version major"));
+    }
+    let len = u16::from_be_bytes([buf[3], buf[4]]) as usize;
+    let total = RECORD_HEADER_LEN + len;
+    if buf.len() < total {
+        return Err(ParseError::Truncated { needed: total, got: buf.len() });
+    }
+    Ok((Record { content, body: &buf[RECORD_HEADER_LEN..total] }, total))
+}
+
+/// Iterate over all complete records in `buf` (e.g. a reassembled TCP
+/// segment carrying several handshake records).
+pub fn iter_records(buf: &[u8]) -> RecordIter<'_> {
+    RecordIter { buf }
+}
+
+pub struct RecordIter<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Iterator for RecordIter<'a> {
+    type Item = Record<'a>;
+
+    fn next(&mut self) -> Option<Record<'a>> {
+        match parse_record(self.buf) {
+            Ok((rec, used)) => {
+                self.buf = &self.buf[used..];
+                Some(rec)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// Build a ClientHello handshake record carrying an SNI extension.
+/// `random` should come from the flow's deterministic RNG.
+pub fn client_hello(sni: &str, random: [u8; 32]) -> Bytes {
+    let mut body = BytesMut::new();
+    body.put_slice(&TLS12); // client_version
+    body.put_slice(&random);
+    body.put_u8(0); // session_id length
+    // cipher suites: a realistic short list
+    let suites: [u16; 4] = [0xc02f, 0xc030, 0x009e, 0x002f];
+    body.put_u16(suites.len() as u16 * 2);
+    for s in suites {
+        body.put_u16(s);
+    }
+    body.put_u8(1); // compression methods length
+    body.put_u8(0); // null compression
+
+    // extensions
+    let mut exts = BytesMut::new();
+    // server_name (type 0)
+    let name = sni.as_bytes();
+    let mut sni_ext = BytesMut::new();
+    sni_ext.put_u16(name.len() as u16 + 3); // server name list length
+    sni_ext.put_u8(0); // name type: host_name
+    sni_ext.put_u16(name.len() as u16);
+    sni_ext.put_slice(name);
+    exts.put_u16(0); // extension type
+    exts.put_u16(sni_ext.len() as u16);
+    exts.put_slice(&sni_ext);
+    // supported_groups (type 10) — fixed minimal contents
+    exts.put_u16(10);
+    exts.put_u16(4);
+    exts.put_u16(2); // list length
+    exts.put_u16(0x001d); // x25519
+
+    body.put_u16(exts.len() as u16);
+    body.put_slice(&exts);
+
+    record(ContentType::Handshake, &handshake_msg(HandshakeType::ClientHello, &body))
+}
+
+/// Build a ServerHello handshake record.
+pub fn server_hello(random: [u8; 32]) -> Bytes {
+    let mut body = BytesMut::new();
+    body.put_slice(&TLS12);
+    body.put_slice(&random);
+    body.put_u8(0); // session id length
+    body.put_u16(0xc02f); // chosen cipher suite
+    body.put_u8(0); // null compression
+    record(ContentType::Handshake, &handshake_msg(HandshakeType::ServerHello, &body))
+}
+
+/// Build a Certificate record with an opaque certificate blob of
+/// `cert_len` bytes (certificates dominate handshake volume).
+pub fn certificate(cert_len: usize, fill: u8) -> Bytes {
+    let mut chain = BytesMut::new();
+    let mut one = BytesMut::new();
+    put_u24(&mut one, cert_len as u32);
+    one.put_bytes(fill, cert_len);
+    put_u24(&mut chain, one.len() as u32);
+    chain.put_slice(&one);
+    record(ContentType::Handshake, &handshake_msg(HandshakeType::Certificate, &chain))
+}
+
+/// Build a ServerHelloDone record.
+pub fn server_hello_done() -> Bytes {
+    record(ContentType::Handshake, &handshake_msg(HandshakeType::ServerHelloDone, &[]))
+}
+
+/// Build a ClientKeyExchange record with an opaque key blob.
+pub fn client_key_exchange(fill: u8) -> Bytes {
+    let mut body = BytesMut::new();
+    body.put_u8(32); // key length
+    body.put_bytes(fill, 32);
+    record(ContentType::Handshake, &handshake_msg(HandshakeType::ClientKeyExchange, &body))
+}
+
+/// Build a ChangeCipherSpec record.
+pub fn change_cipher_spec() -> Bytes {
+    record(ContentType::ChangeCipherSpec, &[1])
+}
+
+/// Build an (encrypted, hence opaque) Finished record.
+pub fn finished(fill: u8) -> Bytes {
+    record(ContentType::Handshake, &[fill; 40])
+}
+
+/// Build an ApplicationData record of `len` payload bytes.
+pub fn application_data(len: usize, fill: u8) -> Bytes {
+    let mut body = BytesMut::with_capacity(len);
+    body.put_bytes(fill, len);
+    record(ContentType::ApplicationData, &body)
+}
+
+fn handshake_msg(ty: HandshakeType, body: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + body.len());
+    b.put_u8(ty.to_u8());
+    put_u24(&mut b, body.len() as u32);
+    b.put_slice(body);
+    b.freeze()
+}
+
+fn put_u24(b: &mut BytesMut, v: u32) {
+    debug_assert!(v < (1 << 24));
+    b.put_u8((v >> 16) as u8);
+    b.put_u8((v >> 8) as u8);
+    b.put_u8(v as u8);
+}
+
+fn read_u24(buf: &[u8]) -> u32 {
+    (u32::from(buf[0]) << 16) | (u32::from(buf[1]) << 8) | u32::from(buf[2])
+}
+
+/// The handshake type of a handshake record body, if recognisable.
+pub fn handshake_type(record_body: &[u8]) -> Option<HandshakeType> {
+    if record_body.len() < 4 {
+        return None;
+    }
+    HandshakeType::from_u8(record_body[0])
+}
+
+/// Extract the SNI host name from a ClientHello handshake record body.
+///
+/// Mirrors what Tstat's DPI does: walk the ClientHello structure to
+/// the extension block and find extension type 0.
+pub fn extract_sni(record_body: &[u8]) -> Option<String> {
+    if handshake_type(record_body) != Some(HandshakeType::ClientHello) {
+        return None;
+    }
+    let len = read_u24(&record_body[1..4]) as usize;
+    let body = record_body.get(4..4 + len)?;
+    // client_version(2) + random(32)
+    let mut i = 34;
+    let sid_len = *body.get(i)? as usize;
+    i += 1 + sid_len;
+    let cs_len = u16::from_be_bytes([*body.get(i)?, *body.get(i + 1)?]) as usize;
+    i += 2 + cs_len;
+    let cm_len = *body.get(i)? as usize;
+    i += 1 + cm_len;
+    let ext_total = u16::from_be_bytes([*body.get(i)?, *body.get(i + 1)?]) as usize;
+    i += 2;
+    let ext_end = i + ext_total;
+    while i + 4 <= ext_end.min(body.len()) {
+        let ext_type = u16::from_be_bytes([body[i], body[i + 1]]);
+        let ext_len = u16::from_be_bytes([body[i + 2], body[i + 3]]) as usize;
+        i += 4;
+        if i + ext_len > body.len() {
+            return None;
+        }
+        if ext_type == 0 {
+            // server_name_list: u16 list len, then entries
+            let ext = &body[i..i + ext_len];
+            if ext.len() < 5 {
+                return None;
+            }
+            let name_type = ext[2];
+            if name_type != 0 {
+                return None;
+            }
+            let name_len = u16::from_be_bytes([ext[3], ext[4]]) as usize;
+            let name = ext.get(5..5 + name_len)?;
+            return String::from_utf8(name.to_vec()).ok();
+        }
+        i += ext_len;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let r = record(ContentType::ApplicationData, b"hello");
+        let (parsed, used) = parse_record(&r).unwrap();
+        assert_eq!(used, r.len());
+        assert_eq!(parsed.content, ContentType::ApplicationData);
+        assert_eq!(parsed.body, b"hello");
+    }
+
+    #[test]
+    fn record_parse_errors() {
+        assert!(matches!(parse_record(&[22, 3]), Err(ParseError::Truncated { .. })));
+        let bad = [99, 3, 3, 0, 0];
+        assert_eq!(parse_record(&bad).unwrap_err(), ParseError::BadField("tls content type"));
+        let bad_ver = [22, 4, 0, 0, 0];
+        assert_eq!(parse_record(&bad_ver).unwrap_err(), ParseError::BadField("tls version major"));
+        let short_body = [22, 3, 3, 0, 10, 1, 2];
+        assert!(matches!(parse_record(&short_body), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn client_hello_sni_round_trip() {
+        let ch = client_hello("video.whatsapp.net", [7u8; 32]);
+        let (rec, _) = parse_record(&ch).unwrap();
+        assert_eq!(rec.content, ContentType::Handshake);
+        assert_eq!(handshake_type(rec.body), Some(HandshakeType::ClientHello));
+        assert_eq!(extract_sni(rec.body).as_deref(), Some("video.whatsapp.net"));
+    }
+
+    #[test]
+    fn sni_of_non_client_hello_is_none() {
+        let sh = server_hello([1u8; 32]);
+        let (rec, _) = parse_record(&sh).unwrap();
+        assert_eq!(handshake_type(rec.body), Some(HandshakeType::ServerHello));
+        assert_eq!(extract_sni(rec.body), None);
+    }
+
+    #[test]
+    fn handshake_message_types_recognised() {
+        let cases: Vec<(Bytes, HandshakeType)> = vec![
+            (server_hello([0; 32]), HandshakeType::ServerHello),
+            (certificate(1200, 0xaa), HandshakeType::Certificate),
+            (server_hello_done(), HandshakeType::ServerHelloDone),
+            (client_key_exchange(0x55), HandshakeType::ClientKeyExchange),
+        ];
+        for (wire, expect) in cases {
+            let (rec, _) = parse_record(&wire).unwrap();
+            assert_eq!(handshake_type(rec.body), Some(expect));
+        }
+        let ccs = change_cipher_spec();
+        let (rec, _) = parse_record(&ccs).unwrap();
+        assert_eq!(rec.content, ContentType::ChangeCipherSpec);
+    }
+
+    #[test]
+    fn iter_records_walks_flight() {
+        // Server's flight: ServerHello + Certificate + ServerHelloDone
+        let mut flight = Vec::new();
+        flight.extend_from_slice(&server_hello([2; 32]));
+        flight.extend_from_slice(&certificate(800, 1));
+        flight.extend_from_slice(&server_hello_done());
+        let kinds: Vec<_> = iter_records(&flight).map(|r| handshake_type(r.body)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Some(HandshakeType::ServerHello),
+                Some(HandshakeType::Certificate),
+                Some(HandshakeType::ServerHelloDone)
+            ]
+        );
+    }
+
+    #[test]
+    fn certificate_length_dominates() {
+        let c = certificate(3000, 0);
+        assert!(c.len() > 3000 && c.len() < 3040);
+    }
+
+    #[test]
+    fn app_data_length() {
+        let d = application_data(1000, 9);
+        let (rec, used) = parse_record(&d).unwrap();
+        assert_eq!(rec.body.len(), 1000);
+        assert_eq!(used, 1005);
+    }
+
+    #[test]
+    fn extract_sni_handles_garbage() {
+        assert_eq!(extract_sni(&[]), None);
+        assert_eq!(extract_sni(&[1, 0, 0]), None);
+        // ClientHello type byte with bogus internals must not panic
+        let junk = [1u8, 0, 0, 10, 3, 3, 1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(extract_sni(&junk), None);
+    }
+
+    #[test]
+    fn long_sni_names() {
+        let name = "a-very-long-subdomain.with.many.labels.content-delivery.example-cdn-node-0042.ec.example.com";
+        let ch = client_hello(name, [0; 32]);
+        let (rec, _) = parse_record(&ch).unwrap();
+        assert_eq!(extract_sni(rec.body).as_deref(), Some(name));
+    }
+}

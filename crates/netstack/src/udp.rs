@@ -1,0 +1,72 @@
+//! UDP header encoding/decoding.
+
+use crate::ip::ParseError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+pub const UDP_HEADER_LEN: usize = 8;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UdpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Length of header + payload in bytes.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> UdpHeader {
+        UdpHeader { src_port, dst_port, length: (UDP_HEADER_LEN + payload_len) as u16 }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(UDP_HEADER_LEN);
+        b.put_u16(self.src_port);
+        b.put_u16(self.dst_port);
+        b.put_u16(self.length);
+        b.put_u16(0); // checksum optional in IPv4; simulator leaves it 0
+        b.freeze()
+    }
+
+    pub fn parse(buf: &[u8]) -> Result<(UdpHeader, usize), ParseError> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(ParseError::Truncated { needed: UDP_HEADER_LEN, got: buf.len() });
+        }
+        let length = u16::from_be_bytes([buf[4], buf[5]]);
+        if (length as usize) < UDP_HEADER_LEN {
+            return Err(ParseError::BadField("udp length"));
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                length,
+            },
+            UDP_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader::new(53, 40_000, 120);
+        let wire = h.encode();
+        assert_eq!(wire.len(), 8);
+        let (parsed, used) = UdpHeader::parse(&wire).unwrap();
+        assert_eq!(used, 8);
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.length, 128);
+    }
+
+    #[test]
+    fn rejects_short_buffer_and_bad_length() {
+        assert!(matches!(UdpHeader::parse(&[0; 4]), Err(ParseError::Truncated { .. })));
+        let mut wire = UdpHeader::new(1, 2, 0).encode().to_vec();
+        wire[4] = 0;
+        wire[5] = 4; // length 4 < 8
+        assert_eq!(UdpHeader::parse(&wire).unwrap_err(), ParseError::BadField("udp length"));
+    }
+}

@@ -1,0 +1,322 @@
+//! End-to-end satellite segment delay composition.
+//!
+//! Combines propagation ([`crate::geo`]), MAC access/queueing
+//! ([`crate::mac`]), ARQ recovery ([`crate::link`]) and PEP processing
+//! ([`crate::pep`]) into per-packet one-way delays and the segment RTT
+//! the monitor estimates via the TLS handshake. This is the quantity
+//! behind Fig 8a/8b: floor ≥ 550 ms, seconds under congestion or
+//! impairment.
+
+use crate::beam::Beam;
+use crate::cpe::Terminal;
+use crate::geo::{GeoSlot, LatLon};
+use crate::link::LinkModel;
+use crate::mac::Mac;
+use crate::pep::PepModel;
+use crate::weather::WeatherModel;
+use satwatch_simcore::{Rng, SimDuration, SimTime};
+
+/// The full satellite access network model (one satellite + one
+/// ground station, as in the paper's deployment).
+#[derive(Clone, Debug)]
+pub struct SatelliteAccess {
+    pub slot: GeoSlot,
+    pub gs_location: LatLon,
+    pub mac: Mac,
+    pub link: LinkModel,
+    pub pep: PepModel,
+    /// Local hour of peak demand per beam's service area (Africa peaks
+    /// in the morning, Europe in the evening — Fig 4).
+    pub peak_hour_by_country: fn(&str) -> u32,
+    /// Optional rain-fade model; `None` = clear skies everywhere.
+    pub weather: Option<WeatherModel>,
+}
+
+/// Default peak hours (local): Europe evening prime time, Africa late
+/// morning (paper §4).
+pub fn default_peak_hour(country: &str) -> u32 {
+    match country {
+        "CD" | "NG" | "ZA" | "KE" | "GH" | "CM" | "SN" => 10,
+        _ => 19,
+    }
+}
+
+impl SatelliteAccess {
+    /// Beam utilization at a local hour.
+    pub fn utilization(&self, beam: &Beam, local_hour: u32) -> f64 {
+        beam.utilization_at(local_hour, (self.peak_hour_by_country)(beam.country))
+    }
+
+    /// Heavy-tail stall term: occasional multi-frame backlogs that the
+    /// paper attributes to the MAC scheduler and the saturated PEP on
+    /// bandwidth-constrained beams ("about 20 % of RTT samples are
+    /// longer than 2 s", §6.1), and to channel impairments at the
+    /// coverage edge (Ireland). Two mechanisms, one Pareto tail:
+    ///
+    /// * congestion pressure `C = util × (1/provisioning − 1)` — zero
+    ///   on well-provisioned beams, large on Congo-like ones;
+    /// * impairment pressure `I = impairment²`.
+    ///
+    /// Each traversal stalls with probability `0.18·C + 0.25·I`
+    /// (clamped), drawing from a bounded Pareto of scale one frame
+    /// floor ~0.7 s and tail index 1.4.
+    pub fn stall_delay(&self, rng: &mut Rng, beam: &Beam, utilization: f64) -> SimDuration {
+        self.stall_delay_impaired(rng, beam, utilization, beam.impairment)
+    }
+
+    /// [`Self::stall_delay`] with an explicit instantaneous impairment
+    /// (static + rain), as computed by [`Self::impairment_at`].
+    pub fn stall_delay_impaired(
+        &self,
+        rng: &mut Rng,
+        beam: &Beam,
+        utilization: f64,
+        impairment: f64,
+    ) -> SimDuration {
+        let c = (utilization * (1.0 / beam.pep_provisioning.max(0.05) - 1.0)).clamp(0.0, 1.2);
+        let i = impairment * impairment;
+        let p = (0.18 * c + 0.25 * i).clamp(0.0, 0.6);
+        if !rng.chance(p) {
+            return SimDuration::ZERO;
+        }
+        // bounded Pareto(xm = 0.7 s, alpha = 1.4, cap = 10 s)
+        let x = 0.7 / rng.f64_open().powf(1.0 / 1.4);
+        SimDuration::from_secs_f64(x.min(10.0))
+    }
+
+    /// Instantaneous channel impairment: static geometry/coverage-edge
+    /// term plus any rain fade at `t`.
+    pub fn impairment_at(&self, beam: &Beam, t: SimTime) -> f64 {
+        let rain = self
+            .weather
+            .map_or(0.0, |w| w.rain_impairment(beam.country, beam.id, t));
+        (beam.impairment + rain).min(0.95)
+    }
+
+    /// One-way uplink delay (CPE → ground station) for one packet.
+    pub fn uplink_delay(
+        &self,
+        rng: &mut Rng,
+        beam: &Beam,
+        terminal: &Terminal,
+        local_hour: u32,
+        t: SimTime,
+        cold_start: bool,
+    ) -> SimDuration {
+        let u = self.utilization(beam, local_hour);
+        let imp = self.impairment_at(beam, t);
+        let prop = self.slot.bent_pipe_delay(terminal.location, self.gs_location);
+        let mac = self.mac.uplink_delay(rng, u, cold_start);
+        let arq = self.link.arq_delay(rng, imp);
+        let pep_u = PepModel::effective_utilization(u, beam.pep_provisioning);
+        let pep = self.pep.forward_delay(rng, pep_u);
+        prop + mac + arq + pep + self.stall_delay_impaired(rng, beam, u, imp)
+    }
+
+    /// One-way downlink delay (ground station → CPE) for one packet.
+    pub fn downlink_delay(
+        &self,
+        rng: &mut Rng,
+        beam: &Beam,
+        terminal: &Terminal,
+        local_hour: u32,
+        t: SimTime,
+    ) -> SimDuration {
+        let u = self.utilization(beam, local_hour);
+        let imp = self.impairment_at(beam, t);
+        let prop = self.slot.bent_pipe_delay(terminal.location, self.gs_location);
+        let mac = self.mac.downlink_delay(rng, u);
+        let arq = self.link.arq_delay(rng, imp);
+        let pep_u = PepModel::effective_utilization(u, beam.pep_provisioning);
+        let pep = self.pep.forward_delay(rng, pep_u);
+        prop + mac + arq + pep + self.stall_delay_impaired(rng, beam, u, imp)
+    }
+
+    /// A full satellite-segment RTT sample (down + up), as measured by
+    /// the TLS ServerHello → ClientKeyExchange gap at the ground
+    /// station. Includes the home segment, which the estimator cannot
+    /// separate (§2.2).
+    pub fn segment_rtt(
+        &self,
+        rng: &mut Rng,
+        beam: &Beam,
+        terminal: &Terminal,
+        local_hour: u32,
+        t: SimTime,
+        cold_start: bool,
+    ) -> SimDuration {
+        self.downlink_delay(rng, beam, terminal, local_hour, t)
+            + terminal.home_rtt_sample(rng)
+            + self.uplink_delay(rng, beam, terminal, local_hour, t, cold_start)
+    }
+
+    /// PEP connection-setup delay on this beam at this hour (charged
+    /// once per TCP connection at the ground proxy).
+    pub fn pep_setup_delay(&self, rng: &mut Rng, beam: &Beam, local_hour: u32) -> SimDuration {
+        let u = self.utilization(beam, local_hour);
+        let pep_u = PepModel::effective_utilization(u, beam.pep_provisioning);
+        self.pep.setup_delay(rng, pep_u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::{Beam, BeamId};
+    use crate::cpe::CustomerId;
+    use crate::geo::places;
+    use crate::link::LinkConfig;
+    use crate::mac::MacConfig;
+    use crate::pep::PepConfig;
+    use crate::shaper::Plan;
+    use satwatch_simcore::BitRate;
+    use std::net::Ipv4Addr;
+
+    fn access() -> SatelliteAccess {
+        SatelliteAccess {
+            slot: places::SATELLITE,
+            gs_location: places::GROUND_STATION_ITALY,
+            mac: Mac::new(MacConfig::default()),
+            link: LinkModel::new(LinkConfig::default()),
+            pep: PepModel::new(PepConfig::default()),
+            peak_hour_by_country: default_peak_hour,
+            weather: None,
+        }
+    }
+
+    fn beam(country: &'static str, night: f64, peak: f64, pep: f64, impairment: f64) -> Beam {
+        Beam {
+            id: BeamId(0),
+            name: format!("{country}-0"),
+            country,
+            down_capacity: BitRate::from_gbps(1),
+            up_capacity: BitRate::from_mbps(300),
+            peak_utilization: peak,
+            night_utilization: night,
+            pep_provisioning: pep,
+            impairment,
+        }
+    }
+
+    fn terminal(country: &'static str, loc: crate::geo::LatLon) -> Terminal {
+        Terminal {
+            customer: CustomerId(0),
+            address: Ipv4Addr::new(10, 0, 0, 1),
+            country,
+            location: loc,
+            beam: BeamId(0),
+            plan: Plan::Down30,
+            home_rtt: SimDuration::from_millis(3),
+        }
+    }
+
+    fn rtt_quantiles(b: &Beam, t: &Terminal, hour: u32, seed: u64) -> (f64, f64, f64) {
+        let acc = access();
+        let mut rng = Rng::new(seed);
+        let mut v: Vec<f64> =
+            (0..4000).map(|_| acc.segment_rtt(&mut rng, b, t, hour, SimTime::from_secs(hour as u64 * 3600), false).as_secs_f64()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (v[v.len() / 10], v[v.len() / 2], v[v.len() * 9 / 10])
+    }
+
+    #[test]
+    fn rtt_floor_above_550ms() {
+        // An idle, perfectly placed beam still cannot beat the physics
+        // + one MAC frame each way.
+        let b = beam("ES", 0.05, 0.2, 1.0, 0.01);
+        let t = terminal("ES", places::SPAIN_MADRID);
+        let acc = access();
+        let mut rng = Rng::new(1);
+        for _ in 0..2000 {
+            let rtt = acc.segment_rtt(&mut rng, &b, &t, 3, SimTime::from_secs(3 * 3600), false);
+            assert!(rtt >= SimDuration::from_millis(540), "{rtt}");
+        }
+        let (p10, p50, _) = rtt_quantiles(&b, &t, 3, 2);
+        assert!(p10 > 0.55 && p10 < 0.8, "p10 {p10}");
+        assert!(p50 < 1.0, "median at night in Spain must be < 1 s, got {p50}");
+    }
+
+    #[test]
+    fn congested_beam_inflates_rtt_at_peak() {
+        // Congo-like: saturated beam, under-provisioned PEP.
+        let b = beam("CD", 0.55, 0.93, 0.45, 0.05);
+        let t = terminal("CD", places::CONGO_KINSHASA);
+        let (_, night_med, _) = rtt_quantiles(&b, &t, 3, 3);
+        let (_, peak_med, peak_p90) = rtt_quantiles(&b, &t, 10, 3);
+        assert!(peak_med > night_med, "peak {peak_med} vs night {night_med}");
+        assert!(peak_p90 > 1.5, "tail should reach seconds: {peak_p90}");
+    }
+
+    #[test]
+    fn impaired_beam_bad_even_at_night() {
+        // Ireland-like: idle beam, strong impairment.
+        let b = beam("IE", 0.15, 0.4, 1.0, 0.6);
+        let t = terminal("IE", places::IRELAND_DUBLIN);
+        let (_, night_med, night_p90) = rtt_quantiles(&b, &t, 3, 4);
+        let (_, peak_med, _) = rtt_quantiles(&b, &t, 19, 4);
+        // night ≈ peak (paper: "practically identical RTT during
+        // nighttime and peak hours rule out congestion")
+        assert!((peak_med - night_med).abs() / night_med < 0.35, "night {night_med} peak {peak_med}");
+        // and the tail is heavy regardless of hour
+        assert!(night_p90 > 1.2, "{night_p90}");
+    }
+
+    #[test]
+    fn pep_setup_slow_on_underprovisioned_beam() {
+        let acc = access();
+        let healthy = beam("ES", 0.2, 0.5, 1.0, 0.0);
+        let starved = beam("CD", 0.5, 0.93, 0.4, 0.0);
+        let mean = |b: &Beam, seed| {
+            let mut rng = Rng::new(seed);
+            (0..3000).map(|_| acc.pep_setup_delay(&mut rng, b, 10).as_millis_f64()).sum::<f64>() / 3000.0
+        };
+        assert!(mean(&starved, 5) > 20.0 * mean(&healthy, 5));
+    }
+
+    #[test]
+    fn stall_tail_reaches_seconds_on_starved_beams() {
+        let acc = access();
+        // Congo-like: under-provisioned PEP, high utilization
+        let starved = beam("CD", 0.6, 0.93, 0.45, 0.05);
+        let t = terminal("CD", places::CONGO_KINSHASA);
+        let mut rng = Rng::new(71);
+        let n = 6000;
+        let over_2s = (0..n)
+            .filter(|_| acc.segment_rtt(&mut rng, &starved, &t, 3, SimTime::from_secs(3 * 3600), false) > SimDuration::from_secs(2))
+            .count() as f64
+            / n as f64;
+        // paper: ~20 % of samples above 2 s already off-peak
+        assert!((0.08..0.40).contains(&over_2s), "{over_2s}");
+        // healthy beam: rare
+        let healthy = beam("ES", 0.15, 0.45, 1.0, 0.02);
+        let te = terminal("ES", places::SPAIN_MADRID);
+        let over_2s_h = (0..n)
+            .filter(|_| acc.segment_rtt(&mut rng, &healthy, &te, 3, SimTime::from_secs(3 * 3600), false) > SimDuration::from_secs(2))
+            .count() as f64
+            / n as f64;
+        assert!(over_2s_h < 0.03, "{over_2s_h}");
+    }
+
+    #[test]
+    fn stall_probability_zero_without_pressure() {
+        let acc = access();
+        let b = beam("ES", 0.1, 0.3, 1.0, 0.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..2000 {
+            assert_eq!(acc.stall_delay(&mut rng, &b, 0.0), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn cold_start_visible_in_rtt() {
+        let b = beam("ES", 0.2, 0.5, 1.0, 0.01);
+        let t = terminal("ES", places::SPAIN_MADRID);
+        let acc = access();
+        let mean = |cold: bool, seed| {
+            let mut rng = Rng::new(seed);
+            (0..3000).map(|_| acc.segment_rtt(&mut rng, &b, &t, 12, SimTime::from_secs(12 * 3600), cold).as_secs_f64()).sum::<f64>()
+                / 3000.0
+        };
+        assert!(mean(true, 6) > mean(false, 6) + 0.04);
+    }
+}

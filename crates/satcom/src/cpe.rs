@@ -1,0 +1,63 @@
+//! Customer-premises equipment (CPE): the dish + router/modem that
+//! terminates the satellite link on the subscriber side and spoofs TCP
+//! handshakes as the client-side half of the PEP (paper §2.1).
+
+use crate::beam::BeamId;
+use crate::geo::LatLon;
+use crate::shaper::Plan;
+use satwatch_simcore::{Rng, SimDuration};
+use std::net::Ipv4Addr;
+
+/// Identifies a customer (one CPE = one customer = one private IPv4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CustomerId(pub u32);
+
+/// One subscriber terminal.
+#[derive(Clone, Debug)]
+pub struct Terminal {
+    pub customer: CustomerId,
+    /// Private address assigned by the operator (paper: private IPv4
+    /// per CPE, NAT at the ground station).
+    pub address: Ipv4Addr,
+    /// ISO-like country code (two letters, e.g. "CD" for Congo).
+    pub country: &'static str,
+    pub location: LatLon,
+    pub beam: BeamId,
+    pub plan: Plan,
+    /// Mean RTT of the home segment (device ↔ CPE over WiFi/Ethernet).
+    /// Negligible next to the satellite (§2.2) but modelled anyway so
+    /// the TLS-based satellite-RTT estimator genuinely absorbs it.
+    pub home_rtt: SimDuration,
+}
+
+impl Terminal {
+    /// Sample one home-segment RTT: WiFi jitter around the mean.
+    pub fn home_rtt_sample(&self, rng: &mut Rng) -> SimDuration {
+        let jitter = rng.range_f64(0.5, 2.0);
+        self.home_rtt.mul_f64(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::places;
+
+    #[test]
+    fn home_rtt_sample_stays_small() {
+        let t = Terminal {
+            customer: CustomerId(1),
+            address: Ipv4Addr::new(10, 0, 0, 1),
+            country: "ES",
+            location: places::SPAIN_MADRID,
+            beam: BeamId(0),
+            plan: Plan::Down30,
+            home_rtt: SimDuration::from_millis(3),
+        };
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            let s = t.home_rtt_sample(&mut rng);
+            assert!(s >= SimDuration::from_millis_f64(1.5) && s <= SimDuration::from_millis(6));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # satwatch-satcom
+//!
+//! The GEO SatCom access-network substrate: everything between the
+//! subscriber's device and the internet side of the ground station,
+//! as described in §2.1 of the paper.
+//!
+//! * [`acm`] — DVB-S2 adaptive coding & modulation ladder: impairment
+//!   → spectral efficiency → goodput factor.
+//! * [`geo`] — orbital geometry: slant ranges, zenith angles, and the
+//!   240–280 ms bent-pipe propagation delays.
+//! * [`beam`] — per-region beams with capacity/utilization profiles.
+//! * [`mac`] — slotted-Aloha reservation + demand-assigned TDMA.
+//! * [`link`] — FEC residual loss + ARQ recovery tails.
+//! * [`pep`] — the split-TCP Performance Enhancing Proxy, including
+//!   the per-beam processing-saturation model behind Fig 8b.
+//! * [`shaper`] — token-bucket QoS shaping and commercial plans.
+//! * [`cpe`] — subscriber terminals.
+//! * [`ground`] — ground station, NAT, operator resolver, span port.
+//! * [`channel`] — composition of all delay terms into per-packet
+//!   one-way delays and the satellite-segment RTT.
+
+pub mod acm;
+pub mod beam;
+pub mod channel;
+pub mod cpe;
+pub mod geo;
+pub mod ground;
+pub mod link;
+pub mod mac;
+pub mod pep;
+pub mod shaper;
+pub mod weather;
+
+pub use beam::{Beam, BeamId, BeamLoad};
+pub use channel::{default_peak_hour, SatelliteAccess};
+pub use cpe::{CustomerId, Terminal};
+pub use geo::{GeoSlot, LatLon};
+pub use ground::{GroundStation, Nat};
+pub use link::{LinkConfig, LinkModel};
+pub use mac::{Mac, MacConfig};
+pub use pep::{PepConfig, PepModel, PepPath};
+pub use shaper::{Plan, TokenBucket, TrafficClass};
+pub use weather::{Climate, RainEvent, WeatherModel};

@@ -1,0 +1,130 @@
+//! Satellite data-link reliability: FEC residual errors and ARQ
+//! recovery (paper §2.1).
+//!
+//! FEC corrects most transmission errors; what it cannot correct, ARQ
+//! retransmits. Each ARQ round trip costs a full satellite hop, so on
+//! impaired channels (large zenith angle — Ireland at the coverage
+//! edge) the *tail* of the delay distribution stretches dramatically
+//! even when the beam is idle. This is the mechanism behind the
+//! paper's Fig 8a Ireland curves (night ≈ peak, both bad).
+
+use satwatch_simcore::{Rng, SimDuration};
+
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Residual frame-loss probability after FEC on a perfect channel.
+    pub base_loss: f64,
+    /// Additional loss at impairment = 1 (horizon-grazing terminal).
+    pub impairment_loss: f64,
+    /// Delay of one ARQ recovery round: the NACK must cross the
+    /// satellite hop and the retransmission must come back
+    /// (~2 × ~250 ms one-hop-to-ground ≈ 500 ms in a bent-pipe ARQ,
+    /// but link-layer ARQ runs CPE↔satellite↔ground as one segment;
+    /// we charge one satellite segment traversal plus scheduling).
+    pub arq_round: SimDuration,
+    /// Max ARQ rounds before the link layer delivers anyway (the
+    /// tunnel is "reliable, almost error-free" per the paper — it
+    /// never gives up, but we cap the model's tail).
+    pub max_rounds: u32,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            base_loss: 0.002,
+            impairment_loss: 0.18,
+            arq_round: SimDuration::from_millis(560),
+            max_rounds: 4,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    cfg: LinkConfig,
+}
+
+impl LinkModel {
+    pub fn new(cfg: LinkConfig) -> LinkModel {
+        LinkModel { cfg }
+    }
+
+    /// Per-packet loss probability before ARQ for a terminal with the
+    /// given geometric `impairment` in `[0, 1]`.
+    pub fn loss_probability(&self, impairment: f64) -> f64 {
+        (self.cfg.base_loss + self.cfg.impairment_loss * impairment.clamp(0.0, 1.0)).min(0.5)
+    }
+
+    /// Extra delay contributed by ARQ recovery for one packet
+    /// traversal. Zero for the (common) case of no loss.
+    pub fn arq_delay(&self, rng: &mut Rng, impairment: f64) -> SimDuration {
+        let p = self.loss_probability(impairment);
+        let mut rounds = 0;
+        while rounds < self.cfg.max_rounds && rng.chance(p) {
+            rounds += 1;
+        }
+        // jitter each round ±20% (scheduler alignment)
+        let mut d = SimDuration::ZERO;
+        for _ in 0..rounds {
+            d += self.cfg.arq_round.mul_f64(rng.range_f64(0.8, 1.2));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_probability_bounds() {
+        let l = LinkModel::new(LinkConfig::default());
+        assert!(l.loss_probability(0.0) < 0.01);
+        assert!(l.loss_probability(1.0) > 0.1);
+        assert!(l.loss_probability(5.0) <= 0.5, "clamped");
+    }
+
+    #[test]
+    fn clean_channel_rarely_delays() {
+        let l = LinkModel::new(LinkConfig::default());
+        let mut rng = Rng::new(1);
+        let delayed = (0..50_000).filter(|_| l.arq_delay(&mut rng, 0.0) > SimDuration::ZERO).count();
+        // base loss 0.002 → ~100 in 50k
+        assert!(delayed < 300, "{delayed}");
+    }
+
+    #[test]
+    fn impaired_channel_has_heavy_tail() {
+        let l = LinkModel::new(LinkConfig::default());
+        let mut rng = Rng::new(2);
+        let n = 50_000;
+        let mut over_500ms = 0;
+        let mut max = SimDuration::ZERO;
+        for _ in 0..n {
+            let d = l.arq_delay(&mut rng, 0.8);
+            if d > SimDuration::from_millis(500) {
+                over_500ms += 1;
+            }
+            max = max.max(d);
+        }
+        // ~10% of packets lose at least one frame
+        let frac = over_500ms as f64 / n as f64;
+        assert!((0.05..0.2).contains(&frac), "{frac}");
+        // multi-round recoveries exist but are capped
+        assert!(max > SimDuration::from_secs(1));
+        assert!(max <= SimDuration::from_millis((560.0 * 1.2 * 4.0) as i64 + 1));
+    }
+
+    #[test]
+    fn delay_is_monotone_in_impairment_on_average() {
+        let l = LinkModel::new(LinkConfig::default());
+        let mean = |imp: f64, seed| {
+            let mut rng = Rng::new(seed);
+            (0..30_000).map(|_| l.arq_delay(&mut rng, imp).as_millis_f64()).sum::<f64>() / 30_000.0
+        };
+        let m0 = mean(0.1, 3);
+        let m1 = mean(0.5, 3);
+        let m2 = mean(0.9, 3);
+        assert!(m0 < m1 && m1 < m2, "{m0} {m1} {m2}");
+    }
+}

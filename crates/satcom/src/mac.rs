@@ -1,0 +1,175 @@
+//! Medium access control on the satellite uplink: slotted-Aloha
+//! reservation channel + demand-assigned TDMA (paper §2.1).
+//!
+//! A CPE that has been idle must first win a slot on the shared
+//! slotted-Aloha reservation channel (collisions → retry with
+//! backoff). Once active, the satellite's TDMA scheduler allocates it
+//! time slots each frame; under load a packet waits several frames for
+//! its slot. The paper attributes most of the satellite RTT inflation
+//! beyond propagation to exactly these mechanisms.
+
+use satwatch_simcore::{Rng, SimDuration};
+
+/// TDMA frame and slotted-Aloha parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MacConfig {
+    /// TDMA super-frame duration. DVB-RCS2-style systems run frames of
+    /// tens of milliseconds.
+    pub frame: SimDuration,
+    /// Maximum slotted-Aloha retries before the model gives up and
+    /// charges the worst-case delay (a real CPE would keep trying).
+    pub max_aloha_retries: u32,
+    /// Aloha backoff window, in frames, doubled per retry up to this cap.
+    pub max_backoff_frames: u32,
+    /// Fixed per-traversal processing: modem framing, interleaving,
+    /// FEC encode/decode. Together with propagation this puts the
+    /// segment RTT floor above the paper's 550 ms.
+    pub processing: SimDuration,
+}
+
+impl Default for MacConfig {
+    fn default() -> MacConfig {
+        MacConfig {
+            frame: SimDuration::from_millis(45),
+            max_aloha_retries: 8,
+            max_backoff_frames: 16,
+            processing: SimDuration::from_millis(25),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Mac {
+    cfg: MacConfig,
+}
+
+impl Mac {
+    pub fn new(cfg: MacConfig) -> Mac {
+        Mac { cfg }
+    }
+
+    pub fn frame(&self) -> SimDuration {
+        self.cfg.frame
+    }
+
+    /// Delay for a cold CPE to win the reservation channel.
+    ///
+    /// Collision probability grows with beam utilization `u`:
+    /// at an idle beam a request almost always succeeds first try; at
+    /// a saturated beam nearly half the requests collide. Each retry
+    /// waits a uniformly drawn backoff of `1..=2^k` frames (capped).
+    pub fn aloha_access_delay(&self, rng: &mut Rng, utilization: f64) -> SimDuration {
+        let p_collision = (0.08 + 0.5 * utilization.clamp(0.0, 1.0)).min(0.9);
+        let mut delay = self.cfg.frame; // the reservation slot itself
+        let mut window = 2u32;
+        for _ in 0..self.cfg.max_aloha_retries {
+            if !rng.chance(p_collision) {
+                return delay;
+            }
+            let backoff = rng.range_u64(1, u64::from(window.min(self.cfg.max_backoff_frames)));
+            delay += self.cfg.frame * backoff as i64 + self.cfg.frame;
+            window = (window * 2).min(self.cfg.max_backoff_frames);
+        }
+        delay
+    }
+
+    /// Queueing delay for a packet of an *active* CPE waiting for its
+    /// TDMA slot allocation.
+    ///
+    /// Modelled as an M/M/1-flavoured wait in units of frames:
+    /// mean wait `u/(1-u)` frames, exponentially distributed, plus the
+    /// residual wait for the current frame boundary (uniform in one
+    /// frame). Capped at 40 frames so a mis-calibrated utilization can
+    /// never wedge the simulation.
+    pub fn tdma_queue_delay(&self, rng: &mut Rng, utilization: f64) -> SimDuration {
+        let u = utilization.clamp(0.0, 0.98);
+        let mean_frames = u / (1.0 - u);
+        let queued = -rng.f64_open().ln() * mean_frames;
+        let slot_wait = rng.f64(); // fraction of a frame to the boundary
+        self.cfg.frame.mul_f64((queued + slot_wait).min(40.0))
+    }
+
+    /// Combined uplink MAC delay for one packet. `cold_start` selects
+    /// whether the Aloha reservation phase applies.
+    pub fn uplink_delay(&self, rng: &mut Rng, utilization: f64, cold_start: bool) -> SimDuration {
+        let mut d = self.cfg.processing + self.tdma_queue_delay(rng, utilization);
+        if cold_start {
+            d += self.aloha_access_delay(rng, utilization);
+        }
+        d
+    }
+
+    /// Downlink scheduling delay: the ground station transmits on the
+    /// forward link without contention, but the scheduler still frames
+    /// transmissions; under load the forward queue builds up.
+    pub fn downlink_delay(&self, rng: &mut Rng, utilization: f64) -> SimDuration {
+        let u = utilization.clamp(0.0, 0.98);
+        let mean_frames = 0.5 * u / (1.0 - u);
+        let queued = -rng.f64_open().ln() * mean_frames;
+        let slot_wait = rng.f64() * 0.5;
+        self.cfg.processing + self.cfg.frame.mul_f64((queued + slot_wait).min(40.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_delay_ms(f: impl Fn(&mut Rng) -> SimDuration, seed: u64, n: usize) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| f(&mut rng).as_millis_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn aloha_is_fast_when_idle() {
+        let mac = Mac::new(MacConfig::default());
+        let m = mean_delay_ms(|r| mac.aloha_access_delay(r, 0.05), 1, 20_000);
+        // mostly one frame (45 ms) + occasional retry
+        assert!((45.0..80.0).contains(&m), "{m}");
+    }
+
+    #[test]
+    fn aloha_degrades_under_load() {
+        let mac = Mac::new(MacConfig::default());
+        let idle = mean_delay_ms(|r| mac.aloha_access_delay(r, 0.1), 2, 20_000);
+        let busy = mean_delay_ms(|r| mac.aloha_access_delay(r, 0.95), 2, 20_000);
+        assert!(busy > 3.0 * idle, "idle {idle}, busy {busy}");
+    }
+
+    #[test]
+    fn tdma_wait_grows_with_utilization() {
+        let mac = Mac::new(MacConfig::default());
+        let lo = mean_delay_ms(|r| mac.tdma_queue_delay(r, 0.2), 3, 20_000);
+        let hi = mean_delay_ms(|r| mac.tdma_queue_delay(r, 0.9), 3, 20_000);
+        assert!(lo < 60.0, "{lo}");
+        assert!(hi > 300.0, "{hi}");
+        assert!(hi < 45.0 * 41.0, "cap must hold");
+    }
+
+    #[test]
+    fn delays_never_negative_or_unbounded() {
+        let mac = Mac::new(MacConfig::default());
+        let mut rng = Rng::new(4);
+        for _ in 0..5_000 {
+            let d = mac.uplink_delay(&mut rng, 1.5 /* out-of-range input */, true);
+            assert!(!d.is_negative());
+            assert!(d <= SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn cold_start_costs_more() {
+        let mac = Mac::new(MacConfig::default());
+        let warm = mean_delay_ms(|r| mac.uplink_delay(r, 0.5, false), 5, 20_000);
+        let cold = mean_delay_ms(|r| mac.uplink_delay(r, 0.5, true), 5, 20_000);
+        assert!(cold > warm + 40.0, "warm {warm}, cold {cold}");
+    }
+
+    #[test]
+    fn downlink_cheaper_than_uplink() {
+        let mac = Mac::new(MacConfig::default());
+        let up = mean_delay_ms(|r| mac.uplink_delay(r, 0.7, false), 6, 20_000);
+        let down = mean_delay_ms(|r| mac.downlink_delay(r, 0.7), 6, 20_000);
+        assert!(down < up, "down {down} vs up {up}");
+    }
+}

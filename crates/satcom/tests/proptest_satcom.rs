@@ -1,0 +1,165 @@
+//! Property tests for the SatCom substrate: physical bounds hold for
+//! arbitrary geometry, loads, and times.
+
+use proptest::prelude::*;
+use satwatch_satcom::beam::{Beam, BeamId};
+use satwatch_satcom::channel::{default_peak_hour, SatelliteAccess};
+use satwatch_satcom::geo::{places, GeoSlot, LatLon};
+use satwatch_satcom::link::{LinkConfig, LinkModel};
+use satwatch_satcom::mac::{Mac, MacConfig};
+use satwatch_satcom::pep::{PepConfig, PepModel};
+use satwatch_satcom::shaper::{Plan, TokenBucket};
+use satwatch_satcom::weather::WeatherModel;
+use satwatch_satcom::{CustomerId, Terminal};
+use satwatch_simcore::{BitRate, Bytes, Rng, SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+fn access(weather: Option<WeatherModel>) -> SatelliteAccess {
+    SatelliteAccess {
+        slot: places::SATELLITE,
+        gs_location: places::GROUND_STATION_ITALY,
+        mac: Mac::new(MacConfig::default()),
+        link: LinkModel::new(LinkConfig::default()),
+        pep: PepModel::new(PepConfig::default()),
+        peak_hour_by_country: default_peak_hour,
+        weather,
+    }
+}
+
+proptest! {
+    #[test]
+    fn elevation_bounded(lat in -80.0f64..80.0, lon in -180.0f64..180.0, slot in -180.0f64..180.0) {
+        let s = GeoSlot::new(slot);
+        let e = s.elevation_deg(LatLon::new(lat, lon));
+        prop_assert!((-90.0..=90.0).contains(&e), "{e}");
+        let z = s.zenith_deg(LatLon::new(lat, lon));
+        prop_assert!((0.0..=180.0).contains(&z));
+        let imp = s.impairment(LatLon::new(lat, lon));
+        prop_assert!((0.0..=1.0).contains(&imp));
+    }
+
+    #[test]
+    fn slant_range_at_least_altitude(lat in -80.0f64..80.0, lon in -180.0f64..180.0) {
+        let s = GeoSlot::new(0.0);
+        let d = s.slant_range_km(LatLon::new(lat, lon));
+        prop_assert!(d >= satwatch_satcom::geo::GEO_ALTITUDE_KM - 1.0);
+        if s.elevation_deg(LatLon::new(lat, lon)) >= 0.0 {
+            // visible terminals: at most the Earth-tangent maximum (~41 680 km)
+            prop_assert!(d < 41_700.0, "{d}");
+        } else {
+            // beyond the horizon the chord can reach Re + r (~48 530 km)
+            prop_assert!(d < 48_600.0, "{d}");
+        }
+    }
+
+    #[test]
+    fn utilization_between_calibration_points(night in 0.0f64..0.9, extra in 0.0f64..0.1,
+                                              hour in 0u32..24) {
+        let peak = night + extra;
+        let beam = Beam {
+            id: BeamId(0),
+            name: "x".into(),
+            country: "ES",
+            down_capacity: BitRate::from_gbps(1),
+            up_capacity: BitRate::from_mbps(100),
+            peak_utilization: peak,
+            night_utilization: night,
+            pep_provisioning: 1.0,
+            impairment: 0.0,
+        };
+        let u = beam.utilization_at(hour, 19);
+        prop_assert!(u >= night - 1e-12 && u <= peak + 1e-12, "{u}");
+    }
+
+    #[test]
+    fn segment_rtt_above_propagation_floor(seed in any::<u64>(), hour in 0u32..24,
+                                           util in 0.0f64..0.95, imp in 0.0f64..0.9,
+                                           day_secs in 0u64..(3 * 86_400)) {
+        let acc = access(Some(WeatherModel::new(seed)));
+        let beam = Beam {
+            id: BeamId(0),
+            name: "p".into(),
+            country: "CD",
+            down_capacity: BitRate::from_gbps(1),
+            up_capacity: BitRate::from_mbps(100),
+            peak_utilization: util.max(0.05),
+            night_utilization: (util * 0.5).max(0.02),
+            pep_provisioning: 0.5,
+            impairment: imp,
+        };
+        let terminal = Terminal {
+            customer: CustomerId(0),
+            address: Ipv4Addr::new(10, 0, 0, 1),
+            country: "CD",
+            location: places::CONGO_KINSHASA,
+            beam: BeamId(0),
+            plan: Plan::Down10,
+            home_rtt: SimDuration::from_millis(3),
+        };
+        let mut rng = Rng::new(seed);
+        let t = SimTime::from_secs(day_secs);
+        let rtt = acc.segment_rtt(&mut rng, &beam, &terminal, hour, t, false);
+        // two bent-pipe traversals ≈ 500 ms minimum, plus processing
+        prop_assert!(rtt >= SimDuration::from_millis(500), "{rtt}");
+        // and bounded: caps on every stochastic term
+        prop_assert!(rtt <= SimDuration::from_secs(60), "{rtt}");
+    }
+
+    #[test]
+    fn weather_impairment_bounded_everywhere(seed in any::<u64>(), secs in 0u64..(30 * 86_400),
+                                             beam_id in 0u16..64) {
+        let w = WeatherModel::new(seed);
+        for country in ["CD", "NG", "IE", "ES", "UK", "??"] {
+            let imp = w.rain_impairment(country, BeamId(beam_id), SimTime::from_secs(secs));
+            prop_assert!((0.0..=0.9).contains(&imp), "{country}: {imp}");
+        }
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_long_run_rate(rate_mbps in 1u64..200, burst_kb in 1u64..5_000,
+                                                pkt in 100u64..60_000, n in 10usize..500) {
+        let rate = BitRate::from_mbps(rate_mbps);
+        let mut tb = TokenBucket::new(rate, Bytes::from_kb(burst_kb));
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            let d = tb.delay_for(now, Bytes(pkt));
+            prop_assert!(!d.is_negative());
+            now += d;
+        }
+        // conservation: bits sent ≤ rate·elapsed + burst credit, up to
+        // nanosecond rounding in the shaper (one µs-of-rate slack)
+        let sent_bits = (n as u64 * pkt * 8) as f64;
+        let elapsed = now.as_secs_f64();
+        if elapsed > 0.0 {
+            let budget = rate.as_bps() as f64 * elapsed
+                + burst_kb as f64 * 8_000.0
+                + rate.as_bps() as f64 * 1e-6;
+            prop_assert!(sent_bits <= budget, "sent {sent_bits} bits vs budget {budget}");
+        }
+    }
+
+    #[test]
+    fn pep_delays_nonnegative_bounded(rho in 0.0f64..2.0, seed in any::<u64>()) {
+        let pep = PepModel::new(PepConfig::default());
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            let s = pep.setup_delay(&mut rng, rho);
+            prop_assert!(!s.is_negative() && s <= SimDuration::from_secs(8));
+            let f = pep.forward_delay(&mut rng, rho);
+            prop_assert!(!f.is_negative() && f <= SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn nat_bindings_bijective(ports in proptest::collection::hash_set(1024u16..60_000, 1..50)) {
+        let gs = satwatch_satcom::GroundStation::italy_default();
+        let mut nat = gs.nat();
+        let mut seen = std::collections::HashSet::new();
+        for &port in &ports {
+            let private = (Ipv4Addr::new(10, 0, 0, 1), port);
+            let public = nat.translate_out(private);
+            prop_assert!(seen.insert(public), "public endpoint reused");
+            prop_assert_eq!(nat.translate_in(public), Some(private));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-experiment runners: one function per table/figure of the
+//! paper, plus the ablations DESIGN.md calls out. Each takes an
+//! already-run [`Dataset`] so several figures can share one
+//! (expensive) simulation.
+
+use crate::run::Dataset;
+use satwatch_analytics::agg::{self, Enrichment};
+use satwatch_analytics::report::*;
+use satwatch_analytics::Classifier;
+use satwatch_traffic::Country;
+
+/// The Fig 6 service subset (services the user intentionally visits).
+pub const FIG6_SERVICES: [&str; 12] = [
+    "Google", "Whatsapp", "Snapchat", "Wechat", "Telegram", "Instagram", "Tiktok", "Netflix",
+    "Primevideo", "Sky", "Spotify", "Dropbox",
+];
+
+/// Top-6 countries as a slice (Fig 6–11 scope).
+pub fn top6() -> Vec<Country> {
+    Country::TOP6.to_vec()
+}
+
+pub fn table1(ds: &Dataset) -> Table1 {
+    agg::table1(&ds.flows)
+}
+
+pub fn fig2(ds: &Dataset) -> Fig2 {
+    agg::fig2(&ds.flows, &ds.enrichment)
+}
+
+pub fn fig3(ds: &Dataset) -> Fig3 {
+    agg::fig3(&ds.flows, &ds.enrichment)
+}
+
+pub fn fig4(ds: &Dataset) -> Fig4 {
+    agg::fig4(&ds.flows, &ds.enrichment)
+}
+
+pub fn fig5(ds: &Dataset) -> Fig5 {
+    let classifier = Classifier::standard();
+    let days = agg::customer_days(&ds.flows, &classifier);
+    agg::fig5(&days, &ds.enrichment)
+}
+
+pub fn fig6(ds: &Dataset) -> Fig6 {
+    let classifier = Classifier::standard();
+    let days = agg::customer_days(&ds.flows, &classifier);
+    agg::fig6(&days, &ds.enrichment, &FIG6_SERVICES, &Country::TOP6)
+}
+
+pub fn fig7(ds: &Dataset) -> Fig7 {
+    let classifier = Classifier::standard();
+    let days = agg::customer_days(&ds.flows, &classifier);
+    agg::fig7(&days, &ds.enrichment, &Country::TOP6)
+}
+
+pub fn fig8a(ds: &Dataset) -> Fig8a {
+    agg::fig8a(&ds.flows, &ds.enrichment, &Country::TOP6)
+}
+
+pub fn fig8b(ds: &Dataset) -> Fig8b {
+    agg::fig8b(&ds.flows, &ds.enrichment)
+}
+
+pub fn fig9(ds: &Dataset) -> Fig9 {
+    agg::fig9(&ds.flows, &ds.enrichment, &Country::TOP6)
+}
+
+pub fn fig10(ds: &Dataset) -> Fig10 {
+    agg::fig10(&ds.dns, &ds.enrichment, &Country::TOP6)
+}
+
+/// Table 2 (and its Appendix B extensions, Tables 4–5).
+pub fn table_cdn(ds: &Dataset, min_flows: usize) -> TableCdnSelection {
+    agg::table_cdn_selection(&ds.flows, &ds.dns, &ds.enrichment, &Country::TOP6, min_flows)
+}
+
+pub fn fig11(ds: &Dataset) -> Fig11 {
+    agg::fig11(&ds.flows, &ds.enrichment, &Country::TOP6)
+}
+
+/// Summary statistics for ablation comparisons.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AblationSummary {
+    /// Median ground RTT of African customers' flows, ms.
+    pub african_ground_rtt_ms: f64,
+    /// Median DNS response time, ms.
+    pub dns_median_ms: f64,
+    /// Median satellite RTT, ms.
+    pub sat_rtt_median_ms: f64,
+    /// Mean time-to-first-data-byte over TLS flows, s.
+    pub ttfb_s: f64,
+}
+
+pub fn ablation_summary(ds: &Dataset) -> AblationSummary {
+    let enr: &Enrichment = &ds.enrichment;
+    let mut african_rtt: Vec<f64> = ds
+        .flows
+        .iter()
+        .filter(|f| {
+            enr.country(f.client).is_some_and(|c| c.is_african()) && f.ground_rtt.samples > 0
+        })
+        .map(|f| f.ground_rtt.avg_ms)
+        .collect();
+    african_rtt.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut dns_ms: Vec<f64> = ds.dns.iter().filter_map(|d| d.response_ms).collect();
+    dns_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut sat: Vec<f64> = ds.flows.iter().filter_map(|f| f.sat_rtt_ms).collect();
+    sat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ttfb: Vec<f64> = ds
+        .flows
+        .iter()
+        .filter(|f| f.l7 == satwatch_monitor::L7Protocol::TlsHttps)
+        .filter_map(|f| f.s2c_data_first.map(|t| (t - f.first).as_secs_f64()))
+        .collect();
+    let med = |v: &[f64]| if v.is_empty() { f64::NAN } else { v[v.len() / 2] };
+    AblationSummary {
+        african_ground_rtt_ms: med(&african_rtt),
+        dns_median_ms: med(&dns_ms),
+        sat_rtt_median_ms: med(&sat),
+        ttfb_s: if ttfb.is_empty() { f64::NAN } else { ttfb.iter().sum::<f64>() / ttfb.len() as f64 },
+    }
+}

@@ -1,0 +1,749 @@
+//! Per-flow packet synthesis: turns one [`FlowIntent`] into the
+//! time-stamped packet sequence the ground-station span port observes.
+//!
+//! The timeline reproduces the paper's Fig 1 choreography:
+//!
+//! * the CPE spoofs the TCP handshake towards the client and tunnels
+//!   the connect request over the satellite to the ground-station PEP,
+//!   which opens the real TCP connection — so the span port sees a
+//!   SYN only after one satellite traversal plus PEP setup;
+//! * the TLS ClientHello crosses once, the ServerHello flight returns
+//!   from the origin after one ground RTT, and the ClientKeyExchange
+//!   reappears at the span port one *satellite RTT* later — exactly
+//!   the gap the monitor's estimator measures;
+//! * UDP (DNS, QUIC, RTP) bypasses the PEP and crosses end-to-end;
+//! * bulk data drains at the shaped plan rate (token-bucket limit,
+//!   beam congestion, shared-AP contention), which also bounds what
+//!   the ground proxy fetches (bounded per-user buffer).
+
+use bytes::Bytes;
+use satwatch_internet::{CdnCatalog, Region};
+use satwatch_netstack::tcp::{SeqNum, TcpFlags, TcpHeader};
+use satwatch_netstack::{dns, http, quic, rtp, tls, Packet};
+use satwatch_satcom::{Beam, SatelliteAccess, TrafficClass};
+use satwatch_simcore::{BitRate, Bytes as Volume, Rng, SimDuration, SimTime};
+use satwatch_traffic::{Category, Customer, FlowIntent, FlowProtocol, ServiceSpec};
+use std::net::Ipv4Addr;
+
+/// Network-wide model shared by all flows.
+pub struct NetModel {
+    pub access: SatelliteAccess,
+    pub cdns: CdnCatalog,
+    pub pep_enabled: bool,
+    pub african_gs: bool,
+}
+
+/// Maximum payload placed in one synthetic packet. Bulk transfers are
+/// coalesced into jumbo segments, like a GRO-enabled capture stack
+/// delivering aggregated buffers: the monitor counts *bytes*, which is
+/// what every analysis uses. The shared zero buffer bounds memory.
+const MAX_CHUNK: u64 = 64_000_000;
+/// Preferred chunk granularity for medium flows.
+const CHUNK_TARGET: u64 = 256_000;
+/// Maximum data packets per direction per flow.
+const MAX_CHUNKS: usize = 48;
+/// Cap on the emission window of a single flow, so multi-GB transfers
+/// do not span the whole day (they are truncated in *time*, keeping
+/// their byte volume — equivalent to the transfer running at a higher
+/// short-term rate, which only sharpens throughput estimates).
+const MAX_FLOW_DURATION: SimDuration = SimDuration::from_secs(1200);
+
+/// One zero-filled buffer shared by every bulk payload (refcounted).
+fn bulk_buffer() -> Bytes {
+    static BUF: std::sync::OnceLock<Bytes> = std::sync::OnceLock::new();
+    BUF.get_or_init(|| Bytes::from(vec![0u8; MAX_CHUNK as usize])).clone()
+}
+
+/// Split `total` into at most `MAX_CHUNKS` chunks: medium flows get
+/// ~CHUNK_TARGET-sized packets, huge flows get proportionally larger
+/// (coalesced) ones, capped by the shared buffer. Byte totals are
+/// preserved exactly up to `MAX_CHUNKS × MAX_CHUNK` (≈ 3 GB) per
+/// direction. Returns (per-packet payload bytes, packets).
+fn chunk_plan(total: u64) -> (u64, usize) {
+    if total == 0 {
+        return (0, 0);
+    }
+    let n = total.div_ceil(CHUNK_TARGET).clamp(1, MAX_CHUNKS as u64) as usize;
+    (total / n as u64, n)
+}
+
+struct FlowBuilder<'a> {
+    client: Ipv4Addr,
+    server: Ipv4Addr,
+    client_port: u16,
+    server_port: u16,
+    cseq: SeqNum,
+    sseq: SeqNum,
+    out: &'a mut Vec<(SimTime, Packet)>,
+}
+
+impl<'a> FlowBuilder<'a> {
+    fn tcp(&mut self, t: SimTime, c2s: bool, flags: TcpFlags, payload: Bytes) {
+        let (src, dst, sp, dp) = if c2s {
+            (self.client, self.server, self.client_port, self.server_port)
+        } else {
+            (self.server, self.client, self.server_port, self.client_port)
+        };
+        let mut h = TcpHeader::new(sp, dp, flags);
+        if flags.syn() {
+            // realistic option set on SYN/SYN-ACK, as real stacks send
+            h.options = vec![
+                satwatch_netstack::TcpOption::Mss(if c2s { 1460 } else { 1440 }),
+                satwatch_netstack::TcpOption::SackPermitted,
+                satwatch_netstack::TcpOption::WindowScale(7),
+            ];
+        }
+        let adv = payload.len() as u32 + u32::from(flags.syn()) + u32::from(flags.fin());
+        if c2s {
+            h.seq = self.cseq;
+            h.ack = self.sseq;
+            self.cseq = self.cseq + adv;
+        } else {
+            h.seq = self.sseq;
+            h.ack = self.cseq;
+            self.sseq = self.sseq + adv;
+        }
+        self.out.push((t, Packet::tcp(src, dst, h, payload)));
+    }
+
+    fn udp(&mut self, t: SimTime, c2s: bool, payload: Bytes) {
+        let (src, dst, sp, dp) = if c2s {
+            (self.client, self.server, self.client_port, self.server_port)
+        } else {
+            (self.server, self.client, self.server_port, self.client_port)
+        };
+        self.out.push((t, Packet::udp(src, dst, sp, dp, payload)));
+    }
+}
+
+impl NetModel {
+    /// Ground-segment RTT base for one flow, honouring the A1
+    /// ablation: with an African ground station, African customers'
+    /// traffic to African/Asian destinations is routed locally.
+    fn ground_rtt_base(&self, region: Region, customer_african: bool, rng: &mut Rng) -> SimDuration {
+        if self.african_gs && customer_african {
+            let ms = match region {
+                Region::AfricaWest => 18.0,
+                Region::AfricaCentral => 35.0,
+                Region::AfricaSouth => 45.0,
+                Region::AfricaEast => 40.0,
+                Region::China => 170.0,
+                // European/US destinations still go through Italy
+                _ => return region.sample_ground_rtt(rng),
+            };
+            SimDuration::from_millis_f64(ms * rng.range_f64(0.9, 1.2))
+        } else {
+            region.sample_ground_rtt(rng)
+        }
+    }
+
+    /// Effective download drain rate for one flow.
+    fn down_rate(&self, intent_cat: Category, customer: &Customer, beam: &Beam, hour: u32, rng: &mut Rng) -> BitRate {
+        let class = if intent_cat == Category::Video { TrafficClass::Video } else { TrafficClass::BestEffort };
+        let util = self.access.utilization(beam, hour);
+        let congestion = 1.0 - 0.55 * util * util;
+        // impaired channels fall down the DVB-S2 MODCOD ladder and
+        // lose spectral efficiency (blended: ACM only bites once the
+        // impairment eats the clear-sky margin)
+        let impairment_loss = satwatch_satcom::acm::goodput_factor(beam.impairment).max(1.0 - 0.45 * beam.impairment);
+        let contention = match customer.archetype {
+            satwatch_traffic::Archetype::CommunityAp | satwatch_traffic::Archetype::InternetCafe => {
+                1.0 / (1.0 + 0.05 * customer.users as f64 * rng.range_f64(0.3, 1.0))
+            }
+            _ => 1.0,
+        };
+        let device = if customer.country.is_african() { rng.range_f64(0.7, 1.0) } else { rng.range_f64(0.92, 1.0) };
+        customer
+            .terminal
+            .plan
+            .down()
+            .mul_f64(class.rate_factor() * congestion * contention * device * impairment_loss)
+            .min(customer.terminal.plan.down())
+            .mul_f64(1.0)
+    }
+
+    fn up_rate(&self, customer: &Customer, beam: &Beam, hour: u32, rng: &mut Rng) -> BitRate {
+        let util = self.access.utilization(beam, hour);
+        let congestion = 1.0 - 0.5 * util * util;
+        customer.terminal.plan.up().mul_f64(congestion * rng.range_f64(0.7, 1.0))
+    }
+
+    /// Simulate one flow; packets are appended to `out` (unsorted
+    /// relative to other flows; the caller merges).
+    pub fn simulate_flow(
+        &self,
+        intent: &FlowIntent,
+        customer: &Customer,
+        catalog: &[ServiceSpec],
+        beam: &Beam,
+        rng: &mut Rng,
+        out: &mut Vec<(SimTime, Packet)>,
+    ) {
+        let svc = &catalog[intent.service.0 as usize];
+        let terminal = &customer.terminal;
+        let hour = intent.start.local_hour(customer.country.tz_offset());
+        let t_flow = intent.start;
+        let up = |rng: &mut Rng, cold: bool| self.access.uplink_delay(rng, beam, terminal, hour, t_flow, cold);
+        let down = |rng: &mut Rng| self.access.downlink_delay(rng, beam, terminal, hour, t_flow);
+
+        // --- resolution chain: hint → serving region → server addr ---
+        let hint = intent.resolver.hint_region(rng, customer.country.home_region());
+        let region = svc.hosting.serving_region(&self.cdns, hint, rng);
+        let server = satwatch_internet::server::server_address_for_domain(region, &intent.domain, rng);
+        let customer_african = customer.country.is_african();
+        let g_base = self.ground_rtt_base(region, customer_african, rng);
+        let mut g = {
+            let mut r = rng.fork("grtt");
+            move || g_base.mul_f64(r.range_f64(0.96, 1.12))
+        };
+
+        let client_port = 20_000 + rng.below(40_000) as u16;
+        let server_port = match intent.protocol {
+            FlowProtocol::Tls => 443,
+            FlowProtocol::Quic => 443,
+            FlowProtocol::Http => 80,
+            FlowProtocol::OtherTcp => *rng.pick(&[8443u16, 4500, 1194, 993, 5001, 9001]),
+            FlowProtocol::OtherUdp => *rng.pick(&[3478u16, 4500, 51820, 19302]),
+            FlowProtocol::Rtp => (16_384 + rng.below(8_000) * 2) as u16,
+        };
+        let mut fb = FlowBuilder {
+            client: terminal.address,
+            server,
+            client_port,
+            server_port,
+            cseq: SeqNum(rng.next_u32()),
+            sseq: SeqNum(rng.next_u32()),
+            out,
+        };
+
+        // --- DNS transaction (UDP, PEP bypass) ---
+        let mut t_client_ready = intent.start;
+        let mut cold_used = false;
+        if intent.needs_dns {
+            let resolver_addr = intent.resolver.address();
+            let dns_port = 10_000 + rng.below(50_000) as u16;
+            let qid = rng.next_u32() as u16;
+            let query = dns::DnsMessage::query(qid, &intent.domain, dns::RecordType::A);
+            let t_q = intent.start + up(rng, true);
+            cold_used = true;
+            fb.out.push((
+                t_q,
+                Packet::udp(terminal.address, resolver_addr, dns_port, 53, query.encode()),
+            ));
+            let t_r = t_q + intent.resolver.sample_response_time(rng);
+            let response = dns::DnsMessage::answer_a(&query, &[server], 300);
+            fb.out.push((
+                t_r,
+                Packet::udp(resolver_addr, terminal.address, 53, dns_port, response.encode()),
+            ));
+            t_client_ready = t_r + down(rng);
+        }
+
+        match intent.protocol {
+            FlowProtocol::Tls | FlowProtocol::Http | FlowProtocol::OtherTcp => {
+                self.simulate_tcp(intent, customer, svc, beam, hour, t_client_ready, cold_used, &mut g, rng, &mut fb, up, down);
+            }
+            FlowProtocol::Quic => {
+                self.simulate_quic(intent, customer, svc, beam, hour, t_client_ready, cold_used, &mut g, rng, &mut fb, up, down);
+            }
+            FlowProtocol::Rtp | FlowProtocol::OtherUdp => {
+                self.simulate_udp_stream(intent, t_client_ready, cold_used, rng, &mut fb, up, down);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_tcp(
+        &self,
+        intent: &FlowIntent,
+        customer: &Customer,
+        svc: &ServiceSpec,
+        beam: &Beam,
+        hour: u32,
+        t_ready: SimTime,
+        cold_used: bool,
+        g: &mut impl FnMut() -> SimDuration,
+        rng: &mut Rng,
+        fb: &mut FlowBuilder<'_>,
+        up: impl Fn(&mut Rng, bool) -> SimDuration,
+        down: impl Fn(&mut Rng) -> SimDuration,
+    ) {
+        let eps = SimDuration::from_micros(300);
+        // With the PEP, the CPE completes the client handshake locally
+        // and the connect crosses the satellite once; without it, the
+        // SYN itself crosses end-to-end (A3 ablation).
+        let t_conn_at_gs = t_ready + up(rng, !cold_used);
+        let t_syn = if self.pep_enabled {
+            t_conn_at_gs + self.access.pep_setup_delay(rng, beam, hour)
+        } else {
+            t_conn_at_gs
+        };
+        fb.tcp(t_syn, true, TcpFlags::SYN, Bytes::new());
+        let t_synack = t_syn + g();
+        fb.tcp(t_synack, false, TcpFlags::SYN_ACK, Bytes::new());
+        fb.tcp(t_synack + eps, true, TcpFlags::ACK, Bytes::new());
+
+        #[allow(clippy::needless_late_init)]
+        let t_data_start;
+        match intent.protocol {
+            FlowProtocol::Tls => {
+                // ClientHello: with PEP it was already buffered at the
+                // ground station when the tunnel opened.
+                let t_ch = if self.pep_enabled {
+                    t_synack + eps + eps
+                } else {
+                    // e2e: client learns of SYN-ACK after a satellite
+                    // round, then the CH crosses again
+                    t_synack + down(rng) + up(rng, false)
+                };
+                let ch = tls::client_hello(&intent.domain, rand_bytes32(rng));
+                fb.tcp(t_ch, true, TcpFlags::PSH_ACK, ch);
+                // server flight
+                let t_sh = t_ch.max(t_synack) + g() + SimDuration::from_millis_f64(rng.range_f64(0.5, 4.0));
+                fb.tcp(t_sh, false, TcpFlags::PSH_ACK, tls::server_hello(rand_bytes32(rng)));
+                let mut flight = Vec::new();
+                flight.extend_from_slice(&tls::certificate(2400 + rng.below(1200) as usize, 0x43));
+                flight.extend_from_slice(&tls::server_hello_done());
+                fb.tcp(t_sh + eps, false, TcpFlags::PSH_ACK, Bytes::from(flight));
+                // ClientKeyExchange returns after one full satellite
+                // round trip (+ home) — the monitor's satellite RTT.
+                let t_cke = t_sh
+                    + down(rng)
+                    + customer.terminal.home_rtt_sample(rng)
+                    + up(rng, false);
+                let mut reply = Vec::new();
+                reply.extend_from_slice(&tls::client_key_exchange(0x6b));
+                reply.extend_from_slice(&tls::change_cipher_spec());
+                reply.extend_from_slice(&tls::finished(0x0f));
+                fb.tcp(t_cke, true, TcpFlags::PSH_ACK, Bytes::from(reply));
+                // server CCS+Finished
+                let t_srv_fin = t_cke + g();
+                let mut srv = Vec::new();
+                srv.extend_from_slice(&tls::change_cipher_spec());
+                srv.extend_from_slice(&tls::finished(0x0e));
+                fb.tcp(t_srv_fin, false, TcpFlags::PSH_ACK, Bytes::from(srv));
+                t_data_start = t_srv_fin + eps;
+            }
+            FlowProtocol::Http => {
+                // request was buffered at the CPE; the PEP forwards it
+                // right after the ground handshake
+                let t_get = if self.pep_enabled {
+                    t_synack + eps + eps
+                } else {
+                    t_synack + down(rng) + up(rng, false)
+                };
+                let path = format!("/content/{}", rng.below(1_000_000));
+                fb.tcp(t_get, true, TcpFlags::PSH_ACK, http::get_request(&intent.domain, &path, "satwatch-ua/1.0"));
+                let t_head = t_get + g() + SimDuration::from_millis_f64(rng.range_f64(0.5, 5.0));
+                fb.tcp(t_head, false, TcpFlags::PSH_ACK, http::ok_response(intent.down_bytes, "application/octet-stream"));
+                t_data_start = t_head + eps;
+            }
+            _ => {
+                // opaque client-first protocol: one small binary blob,
+                // promptly ACKed by the server — that ACK is what the
+                // monitor's data↔ACK estimator samples (without it the
+                // first paced data chunk would close the sample
+                // seconds later and pollute the ground RTT)
+                let t_blob = t_synack + eps + eps;
+                fb.tcp(t_blob, true, TcpFlags::PSH_ACK, Bytes::from(vec![0xd5; 48]));
+                let t_blob_ack = t_blob + g();
+                fb.tcp(t_blob_ack, false, TcpFlags::ACK, Bytes::new());
+                t_data_start = t_blob_ack + eps;
+            }
+        }
+
+        // --- bulk phases ---
+        let down_rate = self.down_rate(svc.category, customer, beam, hour, rng);
+        let up_rate = self.up_rate(customer, beam, hour, rng);
+        let t_down_end = self.emit_bulk(fb, t_data_start, intent.down_bytes, down_rate, false, rng);
+        let t_up_end = self.emit_bulk(fb, t_data_start, intent.up_bytes, up_rate, true, rng);
+        // server acks the upload tail, sampling the ground RTT again
+        let mut t_end = t_down_end.max(t_up_end);
+        if intent.up_bytes > 0 {
+            fb.tcp(t_up_end + g(), false, TcpFlags::ACK, Bytes::new());
+            t_end = t_end.max(t_up_end + g());
+        }
+        // FIN exchange
+        let t_fin = t_end + eps;
+        fb.tcp(t_fin, true, TcpFlags::FIN_ACK, Bytes::new());
+        fb.tcp(t_fin + g(), false, TcpFlags::FIN_ACK, Bytes::new());
+    }
+
+    /// Emit a bulk transfer as coalesced data packets between `t0` and
+    /// `t0 + volume/rate` (capped). Returns the end time.
+    fn emit_bulk(
+        &self,
+        fb: &mut FlowBuilder<'_>,
+        t0: SimTime,
+        bytes: u64,
+        rate: BitRate,
+        c2s: bool,
+        rng: &mut Rng,
+    ) -> SimTime {
+        let (chunk, n) = chunk_plan(bytes);
+        if n == 0 {
+            return t0;
+        }
+        let duration = Volume(bytes).tx_time(rate.mul_f64(rng.range_f64(0.92, 1.0)).min(rate)).min(MAX_FLOW_DURATION);
+        let step = duration / n as i64;
+        let buf = bulk_buffer();
+        let mut t = t0;
+        for i in 0..n {
+            t = t0 + step * (i as i64 + 1);
+            let len = if i == n - 1 { bytes - chunk * (n as u64 - 1) } else { chunk };
+            let payload = buf.slice(0..(len.min(MAX_CHUNK) as usize));
+            fb.tcp(t, c2s, TcpFlags::PSH_ACK, payload);
+        }
+        t
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_quic(
+        &self,
+        intent: &FlowIntent,
+        customer: &Customer,
+        svc: &ServiceSpec,
+        beam: &Beam,
+        hour: u32,
+        t_ready: SimTime,
+        cold_used: bool,
+        g: &mut impl FnMut() -> SimDuration,
+        rng: &mut Rng,
+        fb: &mut FlowBuilder<'_>,
+        up: impl Fn(&mut Rng, bool) -> SimDuration,
+        down: impl Fn(&mut Rng) -> SimDuration,
+    ) {
+        // QUIC bypasses the PEP: everything end-to-end over 550 ms.
+        let dcid: Vec<u8> = (0..8).map(|_| rng.next_u32() as u8).collect();
+        let scid: Vec<u8> = (0..5).map(|_| rng.next_u32() as u8).collect();
+        let t_init = t_ready + up(rng, !cold_used);
+        fb.udp(t_init, true, quic::initial_with_sni(&dcid, &scid, &intent.domain, rand_bytes32(rng)));
+        // server handshake flight
+        let t_hs = t_init + g();
+        fb.udp(t_hs, false, quic::short_packet(&scid, 1200, 0x71));
+        fb.udp(t_hs + SimDuration::from_micros(200), false, quic::short_packet(&scid, 1200, 0x72));
+        // client finishes after a satellite round trip
+        let t_fin = t_hs + down(rng) + customer.terminal.home_rtt_sample(rng) + up(rng, false);
+        fb.udp(t_fin, true, quic::short_packet(&dcid, 80, 0x73));
+        // data: end-to-end congestion control over the long path is
+        // less efficient than the split connection (§2.1 footnote 3)
+        let rate = self.down_rate(svc.category, customer, beam, hour, rng).mul_f64(0.72);
+        let t0 = t_fin + g();
+        let (chunk, n) = chunk_plan(intent.down_bytes);
+        let duration = Volume(intent.down_bytes).tx_time(rate).min(MAX_FLOW_DURATION);
+        let buf = bulk_buffer();
+        let mut t_end = t0;
+        for i in 0..n {
+            let t = t0 + (duration / n as i64) * (i as i64 + 1);
+            let len = if i == n - 1 { intent.down_bytes - chunk * (n as u64 - 1) } else { chunk };
+            fb.udp(t, false, buf.slice(0..(len.min(MAX_CHUNK) as usize)));
+            t_end = t;
+        }
+        // sparse client acks/up data
+        let (uchunk, un) = chunk_plan(intent.up_bytes.min(intent.down_bytes / 4 + intent.up_bytes));
+        let up_rate = self.up_rate(customer, beam, hour, rng);
+        let up_dur = Volume(intent.up_bytes).tx_time(up_rate).min(MAX_FLOW_DURATION);
+        for i in 0..un.min(8) {
+            let t = t0 + (up_dur / un.min(8) as i64) * (i as i64 + 1);
+            fb.udp(t, true, buf.slice(0..(uchunk.min(1200) as usize)));
+            t_end = t_end.max(t);
+        }
+        let _ = t_end;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_udp_stream(
+        &self,
+        intent: &FlowIntent,
+        t_ready: SimTime,
+        cold_used: bool,
+        rng: &mut Rng,
+        fb: &mut FlowBuilder<'_>,
+        up: impl Fn(&mut Rng, bool) -> SimDuration,
+        down: impl Fn(&mut Rng) -> SimDuration,
+    ) {
+        let is_rtp = intent.protocol == FlowProtocol::Rtp;
+        let total = intent.down_bytes + intent.up_bytes;
+        // media/tunnel streams run at a codec-ish rate
+        let rate = BitRate::from_kbps(if is_rtp { 80 + rng.below(80) } else { 200 + rng.below(800) });
+        let duration = Volume(total).tx_time(rate).min(MAX_FLOW_DURATION).max(SimDuration::from_secs(2));
+        let n_each = ((duration.as_secs_f64() / 2.0) as usize).clamp(2, MAX_CHUNKS);
+        let t0 = t_ready + up(rng, !cold_used);
+        let _ = down;
+        let ssrc = rng.next_u32();
+        let chunk_c2s = (intent.up_bytes / n_each as u64).clamp(60, MAX_CHUNK);
+        let chunk_s2c = (intent.down_bytes / n_each as u64).clamp(60, MAX_CHUNK);
+        let buf = bulk_buffer();
+        for i in 0..n_each {
+            let t = t0 + (duration / n_each as i64) * (i as i64 + 1);
+            if is_rtp {
+                let hdr = rtp::RtpHeader {
+                    payload_type: 111,
+                    sequence: i as u16,
+                    timestamp: (i as u32) * 960,
+                    ssrc,
+                    marker: i == 0,
+                };
+                fb.udp(t, true, hdr.encode(chunk_c2s as usize - rtp::RTP_HEADER_LEN.min(chunk_c2s as usize), 0));
+                let hdr2 = rtp::RtpHeader { ssrc: ssrc ^ 1, ..hdr };
+                fb.udp(t + SimDuration::from_millis(3), false, hdr2.encode(chunk_s2c as usize, 0));
+            } else {
+                fb.udp(t, true, buf.slice(0..chunk_c2s as usize));
+                fb.udp(t + SimDuration::from_millis(5), false, buf.slice(0..chunk_s2c as usize));
+            }
+        }
+    }
+}
+
+fn rand_bytes32(rng: &mut Rng) -> [u8; 32] {
+    let mut b = [0u8; 32];
+    for chunk in b.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes()[..chunk.len()]);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satwatch_internet::ResolverId;
+    use satwatch_satcom::channel::default_peak_hour;
+    use satwatch_satcom::geo::places;
+    use satwatch_satcom::link::{LinkConfig, LinkModel};
+    use satwatch_satcom::mac::{Mac, MacConfig};
+    use satwatch_satcom::pep::{PepConfig, PepModel};
+    use satwatch_simcore::SeedTree;
+    use satwatch_traffic::{build_population, catalog::standard_catalog, Country};
+
+    fn model(pep: bool) -> NetModel {
+        NetModel {
+            access: SatelliteAccess {
+                slot: places::SATELLITE,
+                gs_location: places::GROUND_STATION_ITALY,
+                mac: Mac::new(MacConfig::default()),
+                link: LinkModel::new(LinkConfig::default()),
+                pep: PepModel::new(PepConfig::default()),
+                peak_hour_by_country: default_peak_hour,
+                weather: None,
+            },
+            cdns: CdnCatalog::standard(),
+            pep_enabled: pep,
+            african_gs: false,
+        }
+    }
+
+    fn sim_one(proto: FlowProtocol, needs_dns: bool, seed: u64) -> Vec<(SimTime, Packet)> {
+        let pop = build_population(200, &SeedTree::new(seed));
+        let catalog = standard_catalog();
+        let customer = pop.customers.iter().find(|c| c.country == Country::Spain && c.activity > 0.0).unwrap();
+        let svc = catalog.iter().find(|s| s.name == "Whatsapp").unwrap();
+        let intent = FlowIntent {
+            customer_index: 0,
+            start: SimTime::from_secs(12 * 3600),
+            service: svc.id,
+            domain: "static.whatsapp.net".into(),
+            protocol: proto,
+            down_bytes: 200_000,
+            up_bytes: 40_000,
+            needs_dns,
+            resolver: ResolverId::Google,
+        };
+        let m = model(true);
+        let mut rng = Rng::new(seed);
+        let mut out = Vec::new();
+        m.simulate_flow(&intent, customer, &catalog, pop.beam(customer.terminal.beam), &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn tls_flow_has_ordered_handshake_and_dns() {
+        let pkts = sim_one(FlowProtocol::Tls, true, 1);
+        assert!(pkts.len() >= 10);
+        // first two packets are the DNS transaction
+        assert!(matches!(pkts[0].1.transport, satwatch_netstack::Transport::Udp(_)));
+        assert_eq!(pkts[0].1.five_tuple().dst_port, 53);
+        // a SYN exists and precedes any TLS payload packet
+        let syn_idx = pkts
+            .iter()
+            .position(|(_, p)| matches!(&p.transport, satwatch_netstack::Transport::Tcp(t) if t.flags.syn() && !t.flags.ack()))
+            .expect("SYN present");
+        let ch_idx = pkts
+            .iter()
+            .position(|(_, p)| !p.payload.is_empty() && p.payload[0] == 22)
+            .expect("TLS record present");
+        assert!(syn_idx < ch_idx);
+        // timestamps non-decreasing per flow direction stream? At
+        // least: the vector should be roughly ordered; enforce sorted
+        // by construction for this single flow
+        let mut sorted = pkts.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        // DNS query happens one satellite traversal after start
+        assert!(pkts[0].0 >= SimTime::from_secs(12 * 3600) + SimDuration::from_millis(240));
+    }
+
+    #[test]
+    fn monitor_measures_tls_flow_correctly() {
+        use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
+        let mut pkts = sim_one(FlowProtocol::Tls, true, 2);
+        pkts.sort_by_key(|(t, _)| *t);
+        let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(
+            Ipv4Addr::new(10, 0, 0, 0),
+            9,
+        )));
+        let mut probe = Probe::new(cfg);
+        for (t, p) in &pkts {
+            probe.observe(*t, p);
+        }
+        let (flows, dns) = probe.finish();
+        assert_eq!(dns.len(), 1);
+        assert!(dns[0].response_ms.is_some());
+        let tcp: Vec<_> = flows.iter().filter(|f| f.ip_proto == 6).collect();
+        assert_eq!(tcp.len(), 1);
+        let f = tcp[0];
+        assert_eq!(f.l7, satwatch_monitor::L7Protocol::TlsHttps);
+        assert_eq!(f.domain.as_deref(), Some("static.whatsapp.net"));
+        let sat = f.sat_rtt_ms.expect("sat RTT measured");
+        assert!(sat > 500.0 && sat < 6000.0, "{sat}");
+        assert!(f.ground_rtt.samples >= 1);
+        assert!(f.ground_rtt.avg_ms < 400.0);
+        assert!(f.s2c_bytes > 200_000, "{}", f.s2c_bytes);
+        assert!(f.c2s_bytes > 40_000);
+    }
+
+    #[test]
+    fn quic_flow_classified_no_sat_rtt() {
+        use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
+        let mut pkts = sim_one(FlowProtocol::Quic, false, 3);
+        pkts.sort_by_key(|(t, _)| *t);
+        let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(
+            Ipv4Addr::new(10, 0, 0, 0),
+            9,
+        )));
+        let mut probe = Probe::new(cfg);
+        for (t, p) in &pkts {
+            probe.observe(*t, p);
+        }
+        let (flows, _) = probe.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].l7, satwatch_monitor::L7Protocol::Quic);
+        assert_eq!(flows[0].domain.as_deref(), Some("static.whatsapp.net"));
+        assert_eq!(flows[0].sat_rtt_ms, None, "QUIC bypasses the TLS estimator");
+    }
+
+    #[test]
+    fn http_and_other_protocols_classify() {
+        use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
+        for (proto, want) in [
+            (FlowProtocol::Http, satwatch_monitor::L7Protocol::Http),
+            (FlowProtocol::OtherTcp, satwatch_monitor::L7Protocol::OtherTcp),
+            (FlowProtocol::Rtp, satwatch_monitor::L7Protocol::Rtp),
+            (FlowProtocol::OtherUdp, satwatch_monitor::L7Protocol::OtherUdp),
+        ] {
+            let mut pkts = sim_one(proto, false, 4);
+            pkts.sort_by_key(|(t, _)| *t);
+            let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(
+                Ipv4Addr::new(10, 0, 0, 0),
+                9,
+            )));
+            let mut probe = Probe::new(cfg);
+            for (t, p) in &pkts {
+                probe.observe(*t, p);
+            }
+            let (flows, _) = probe.finish();
+            assert_eq!(flows.len(), 1, "{proto:?}");
+            assert_eq!(flows[0].l7, want, "{proto:?}");
+        }
+    }
+
+    #[test]
+    fn pep_ablation_slows_time_to_first_byte() {
+        let pop = build_population(200, &SeedTree::new(5));
+        let catalog = standard_catalog();
+        let customer = pop.customers.iter().find(|c| c.country == Country::Spain && c.activity > 0.0).unwrap();
+        let svc = catalog.iter().find(|s| s.name == "Netflix").unwrap();
+        let intent = FlowIntent {
+            customer_index: 0,
+            start: SimTime::from_secs(12 * 3600),
+            service: svc.id,
+            domain: "www.netflix.com".into(),
+            protocol: FlowProtocol::Tls,
+            down_bytes: 2_000_000,
+            up_bytes: 5_000,
+            needs_dns: false,
+            resolver: ResolverId::OperatorEu,
+        };
+        let ttfb = |pep: bool| {
+            let mut m = model(pep);
+            m.pep_enabled = pep;
+            let mut total = 0.0;
+            for seed in 0..40 {
+                let mut rng = Rng::new(seed);
+                let mut out = Vec::new();
+                m.simulate_flow(&intent, customer, &catalog, pop.beam(customer.terminal.beam), &mut rng, &mut out);
+                out.sort_by_key(|(t, _)| *t);
+                // first s2c data packet ≥ 1 kB = first media byte
+                let first = out
+                    .iter()
+                    .find(|(_, p)| p.ip.dst == customer.terminal.address && p.payload.len() > 1000)
+                    .map(|(t, _)| (*t - intent.start).as_secs_f64())
+                    .unwrap();
+                total += first;
+            }
+            total / 40.0
+        };
+        let with_pep = ttfb(true);
+        let without = ttfb(false);
+        assert!(without > with_pep + 0.4, "pep {with_pep:.2}s vs e2e {without:.2}s");
+    }
+
+    #[test]
+    fn chunk_plan_bounds() {
+        assert_eq!(chunk_plan(0), (0, 0));
+        let (c, n) = chunk_plan(100);
+        assert_eq!((c, n), (100, 1));
+        let (_, n) = chunk_plan(10_000_000);
+        assert!(n <= MAX_CHUNKS);
+        let (c, n) = chunk_plan(600_000);
+        assert_eq!(n, 3);
+        assert!(c * n as u64 <= 600_000);
+    }
+
+    #[test]
+    fn bulk_bytes_preserved_for_large_flows() {
+        // Volumes up to several hundred MB must survive chunking:
+        // the sum of payload slices equals the requested volume.
+        for total in [1_000u64, 1_000_000, 25_000_000, 400_000_000] {
+            let (chunk, n) = chunk_plan(total);
+            assert!(n >= 1);
+            let emitted: u64 = (0..n)
+                .map(|i| if i == n - 1 { total - chunk * (n as u64 - 1) } else { chunk })
+                .sum();
+            assert_eq!(emitted, total, "total {total}");
+            assert!(chunk <= MAX_CHUNK);
+        }
+    }
+
+    #[test]
+    fn african_gs_ablation_shortens_local_paths() {
+        let mut m = model(true);
+        m.african_gs = true;
+        let mut rng = Rng::new(6);
+        let local: f64 = (0..500)
+            .map(|_| m.ground_rtt_base(Region::AfricaCentral, true, &mut rng).as_millis_f64())
+            .sum::<f64>()
+            / 500.0;
+        assert!(local < 60.0, "{local}");
+        // non-African customers still route through Italy
+        let via_italy: f64 = (0..500)
+            .map(|_| m.ground_rtt_base(Region::AfricaCentral, false, &mut rng).as_millis_f64())
+            .sum::<f64>()
+            / 500.0;
+        assert!(via_italy > 200.0, "{via_italy}");
+        // African customers to Europe unchanged
+        let eu: f64 = (0..500)
+            .map(|_| m.ground_rtt_base(Region::EuropeWest, true, &mut rng).as_millis_f64())
+            .sum::<f64>()
+            / 500.0;
+        assert!(eu < 40.0 && eu > 15.0, "{eu}");
+    }
+}

@@ -1,0 +1,538 @@
+//! Random distributions used by the workload and channel models.
+//!
+//! `rand_distr` is not in the approved offline dependency set, so the
+//! samplers are implemented here from their textbook definitions. Each
+//! sampler draws from a [`Rng`] passed by the caller — distributions
+//! themselves are immutable, cheap-to-copy parameter bundles.
+
+use crate::rng::Rng;
+
+/// A sampling distribution over `f64`.
+pub trait Sample {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution mean (used by calibration code and tests).
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    pub lambda: f64,
+}
+
+impl Exponential {
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite());
+        Exponential { lambda }
+    }
+
+    /// Construct from the mean instead of the rate.
+    pub fn with_mean(mean: f64) -> Self {
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.f64_open().ln() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Normal distribution via the Marsaglia polar method (one value per
+/// call; the spare is discarded to keep the sampler stateless).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl Normal {
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite() && mu.is_finite());
+        Normal { mu, sigma }
+    }
+
+    /// Standard normal variate.
+    pub fn std_sample(rng: &mut Rng) -> f64 {
+        loop {
+            let u = rng.range_f64(-1.0, 1.0);
+            let v = rng.range_f64(-1.0, 1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mu + self.sigma * Normal::std_sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Log-normal distribution parameterised by the underlying normal's
+/// `mu`/`sigma`. Heavily used for flow sizes and RTT tails.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite() && mu.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct from the *median* of the log-normal itself and the
+    /// log-space sigma — far more intuitive for calibration
+    /// ("median chat volume 250 MB, spread 1.2").
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Quantile function (inverse CDF) — used by fitting code.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p) && p > 0.0);
+        (self.mu + self.sigma * inverse_std_normal_cdf(p)).exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * Normal::std_sample(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto (Type I) distribution: `P(X > x) = (xm/x)^alpha` for `x >= xm`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    pub xm: f64,
+    pub alpha: f64,
+}
+
+impl Pareto {
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && alpha > 0.0);
+        Pareto { xm, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.xm / rng.f64_open().powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+}
+
+/// Pareto truncated at `cap` by resampling-free clamping (keeps heavy
+/// tails but prevents single samples from dominating a short scenario).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundedPareto {
+    pub inner: Pareto,
+    pub cap: f64,
+}
+
+impl BoundedPareto {
+    pub fn new(xm: f64, alpha: f64, cap: f64) -> Self {
+        assert!(cap >= xm);
+        BoundedPareto { inner: Pareto::new(xm, alpha), cap }
+    }
+}
+
+impl Sample for BoundedPareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.inner.sample(rng).min(self.cap)
+    }
+
+    fn mean(&self) -> f64 {
+        // Clamped mean has no simple closed form; report the untruncated
+        // mean capped at `cap` as a calibration aid.
+        self.inner.mean().min(self.cap)
+    }
+}
+
+/// Weibull distribution (shape `k`, scale `lambda`); models session
+/// durations and ON-period lengths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Weibull {
+    pub k: f64,
+    pub lambda: f64,
+}
+
+impl Weibull {
+    pub fn new(k: f64, lambda: f64) -> Self {
+        assert!(k > 0.0 && lambda > 0.0);
+        Weibull { k, lambda }
+    }
+}
+
+impl Sample for Weibull {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.lambda * (-rng.f64_open().ln()).powf(1.0 / self.k)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda * gamma(1.0 + 1.0 / self.k)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`; models
+/// service/domain popularity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n` (0-based; rank 0 is the most popular).
+    pub fn sample_rank(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Categorical distribution over arbitrary weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Categorical {
+    cum: Vec<f64>,
+}
+
+impl Categorical {
+    /// Weights need not sum to one; they are normalised. All weights
+    /// must be non-negative with a positive sum.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+            acc += w;
+            cum.push(acc);
+        }
+        assert!(acc > 0.0, "all-zero weights");
+        for v in &mut cum {
+            *v /= acc;
+        }
+        Categorical { cum }
+    }
+
+    /// Sample an index in `0..len`.
+    pub fn sample_index(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self.cum.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1).min(self.cum.len() - 1),
+            Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+}
+
+/// Empirical distribution: inverse-CDF sampling over observed points
+/// with linear interpolation between them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Empirical { sorted: samples }
+    }
+
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = p * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.quantile(rng.f64())
+    }
+
+    fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9),
+/// sufficient for Weibull mean computation in calibration code.
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        core::f64::consts::PI / ((core::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * core::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Acklam's rational approximation of the standard normal inverse CDF.
+/// Max absolute error ~1.15e-9 — plenty for quantile-based fitting.
+pub fn inverse_std_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile outside (0,1): {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn sample_mean(d: &impl Sample, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(5.0);
+        let m = sample_mean(&d, 200_000, 1);
+        assert!((m - 5.0).abs() < 0.1, "{m}");
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0);
+        let mut rng = Rng::new(2);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "{mean}");
+        assert!((var - 4.0).abs() < 0.1, "{var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let d = LogNormal::from_median(100.0, 0.5);
+        let mut rng = Rng::new(3);
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median / 100.0 - 1.0).abs() < 0.03, "median {median}");
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean / d.mean() - 1.0).abs() < 0.05, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn lognormal_quantile_matches_samples() {
+        let d = LogNormal::from_median(50.0, 1.0);
+        // Median quantile equals the median parameter.
+        assert!((d.quantile(0.5) - 50.0).abs() < 1e-9);
+        // 84th percentile of log-normal = median * exp(sigma)
+        assert!((d.quantile(0.841_344_7) / (50.0 * 1.0f64.exp()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pareto_tail_exponent() {
+        let d = Pareto::new(1.0, 2.0);
+        let mut rng = Rng::new(4);
+        let n = 200_000;
+        let count_gt_10 = (0..n).filter(|_| d.sample(&mut rng) > 10.0).count();
+        // P(X>10) = (1/10)^2 = 0.01
+        let frac = count_gt_10 as f64 / n as f64;
+        assert!((frac - 0.01).abs() < 0.002, "{frac}");
+        assert_eq!(d.mean(), 2.0);
+        assert!(Pareto::new(1.0, 0.9).mean().is_infinite());
+    }
+
+    #[test]
+    fn bounded_pareto_respects_cap() {
+        let d = BoundedPareto::new(1.0, 1.1, 100.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weibull_mean() {
+        let d = Weibull::new(1.0, 3.0); // k=1 reduces to Exponential(mean 3)
+        assert!((d.mean() - 3.0).abs() < 1e-9);
+        let m = sample_mean(&d, 100_000, 6);
+        assert!((m - 3.0).abs() < 0.1, "{m}");
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng::new(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[49]);
+        // Rank-0 share of a 100-element Zipf(1) is 1/H(100) ≈ 0.193
+        let share = counts[0] as f64 / 100_000.0;
+        assert!((share - 0.193).abs() < 0.02, "{share}");
+    }
+
+    #[test]
+    fn categorical_proportions() {
+        let c = Categorical::new(&[1.0, 2.0, 7.0]);
+        let mut rng = Rng::new(8);
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            counts[c.sample_index(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / 1e5 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / 1e5 - 0.2).abs() < 0.01);
+        assert!((counts[2] as f64 / 1e5 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn categorical_rejects_zero_sum() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn empirical_quantiles_interpolate() {
+        let e = Empirical::from_samples(vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.quantile(0.5), 2.5);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_symmetry() {
+        assert!(inverse_std_normal_cdf(0.5).abs() < 1e-9);
+        let z95 = inverse_std_normal_cdf(0.975);
+        assert!((z95 - 1.959_964).abs() < 1e-4, "{z95}");
+        let lo = inverse_std_normal_cdf(0.01);
+        let hi = inverse_std_normal_cdf(0.99);
+        assert!((lo + hi).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma(0.5) - core::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Customer archetypes.
+//!
+//! The paper's Fig 5 shapes come from a heterogeneous customer base:
+//! European CPEs in second homes that sit idle most of the year (the
+//! 50–250 flows/day knee), ordinary households, business sites running
+//! VPNs, and — in Africa — community WiFi access points and internet
+//! cafés that multiplex tens of end users behind one CPE (the 10×
+//! flow-count tail and the enormous chat/social volumes of Fig 7).
+
+use crate::country::Country;
+use satwatch_simcore::Rng;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Ordinary household.
+    Residential,
+    /// CPE installed in a holiday/second home: lightly used — a phone
+    /// or tablet checking messages, plus CPE chatter. Produces the
+    /// Fig 5a knee (< 250 flows/day) while still touching Google or
+    /// WhatsApp most days (Fig 6).
+    SecondHome,
+    /// Business subscriber: office hours, VPN-heavy.
+    Business,
+    /// Community WiFi AP sharing the SatCom access with many users.
+    CommunityAp,
+    /// Internet café: daytime multiplexing, closes at night.
+    InternetCafe,
+}
+
+impl Archetype {
+    pub const ALL: [Archetype; 5] = [
+        Archetype::Residential,
+        Archetype::SecondHome,
+        Archetype::Business,
+        Archetype::CommunityAp,
+        Archetype::InternetCafe,
+    ];
+
+    /// Mix per country: weights over [Residential, SecondHome,
+    /// Business, CommunityAp, InternetCafe].
+    pub fn weights_for(country: Country) -> [f64; 5] {
+        use Country::*;
+        match country {
+            // Europe: many second homes in remote areas (§4: "customers
+            // buying satellite access for their second houses"), some
+            // business.
+            Spain => [0.32, 0.52, 0.16, 0.0, 0.0],
+            Ireland => [0.38, 0.46, 0.16, 0.0, 0.0],
+            Uk => [0.36, 0.46, 0.18, 0.0, 0.0],
+            Germany => [0.28, 0.40, 0.32, 0.0, 0.0],
+            France | Italy | Greece => [0.35, 0.48, 0.17, 0.0, 0.0],
+            // Africa: no second-home effect; community APs and cafés
+            // multiplex users (§4/§5).
+            Congo => [0.48, 0.02, 0.08, 0.30, 0.12],
+            Nigeria => [0.52, 0.02, 0.10, 0.25, 0.11],
+            SouthAfrica => [0.60, 0.04, 0.12, 0.16, 0.08],
+            Kenya | Ghana => [0.52, 0.02, 0.10, 0.25, 0.11],
+        }
+    }
+
+    /// Sample the number of end users behind the CPE.
+    pub fn sample_user_count(self, rng: &mut Rng) -> u32 {
+        match self {
+            Archetype::Residential => rng.range_u64(1, 5) as u32,
+            Archetype::SecondHome => 1, // an occasional visitor/device
+            Archetype::Business => rng.range_u64(3, 25) as u32,
+            Archetype::CommunityAp => rng.range_u64(8, 45) as u32,
+            Archetype::InternetCafe => rng.range_u64(5, 30) as u32,
+        }
+    }
+
+    /// Overall activity multiplier applied to per-service flow counts
+    /// and volumes, given the user count.
+    pub fn activity_factor(self, users: u32) -> f64 {
+        match self {
+            Archetype::SecondHome => 0.09,
+            Archetype::Residential => 0.5 + 0.25 * users as f64,
+            Archetype::Business => 0.3 + 0.10 * users as f64,
+            // Shared access points multiplex many *casual* users: per
+            // head activity is far below a household's.
+            Archetype::CommunityAp => 0.12 * users as f64,
+            Archetype::InternetCafe => 0.11 * users as f64,
+        }
+    }
+
+    /// Background (CPE/device chatter) flow count per day. Everyone,
+    /// including empty second homes, produces this — the source of the
+    /// Fig 5a knee.
+    pub fn background_flows_per_day(self, rng: &mut Rng) -> u32 {
+        match self {
+            Archetype::SecondHome => rng.range_u64(30, 170) as u32,
+            _ => rng.range_u64(80, 300) as u32,
+        }
+    }
+
+    /// Whether this archetype's users produce traffic mostly in
+    /// business/daytime hours. Community APs serve residential
+    /// neighbourhoods around the clock (the paper's ~40 % night floor
+    /// in Africa); cafés and offices close at night.
+    pub fn daytime_biased(self) -> bool {
+        matches!(self, Archetype::Business | Archetype::InternetCafe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_normalised() {
+        for c in Country::ALL {
+            let w = Archetype::weights_for(c);
+            let total: f64 = w.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{c:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn europe_has_second_homes_africa_has_aps() {
+        let es = Archetype::weights_for(Country::Spain);
+        assert!(es[1] > 0.4, "Spain second homes");
+        assert_eq!(es[3], 0.0, "no community APs in Spain");
+        let cd = Archetype::weights_for(Country::Congo);
+        assert!(cd[3] + cd[4] > 0.35, "Congo APs + cafés");
+        assert!(cd[1] < 0.05, "no second homes in Congo");
+    }
+
+    #[test]
+    fn second_home_is_nearly_idle() {
+        let mut rng = Rng::new(1);
+        assert_eq!(Archetype::SecondHome.sample_user_count(&mut rng), 1);
+        let light = Archetype::SecondHome.activity_factor(1);
+        assert!(light > 0.0 && light < 0.2, "{light}");
+        assert!(light < 0.2 * Archetype::Residential.activity_factor(2));
+        let bg = Archetype::SecondHome.background_flows_per_day(&mut rng);
+        assert!((30..=170).contains(&bg), "{bg}");
+    }
+
+    #[test]
+    fn community_ap_scales_with_users() {
+        let f10 = Archetype::CommunityAp.activity_factor(10);
+        let f40 = Archetype::CommunityAp.activity_factor(40);
+        assert!(f40 > 4.0 * f10 * 0.9);
+        // a full AP is far busier than any household
+        assert!(f40 > 3.0 * Archetype::Residential.activity_factor(4));
+    }
+
+    #[test]
+    fn user_counts_in_declared_ranges() {
+        let mut rng = Rng::new(2);
+        for _ in 0..1000 {
+            let u = Archetype::CommunityAp.sample_user_count(&mut rng);
+            assert!((8..=45).contains(&u));
+            let r = Archetype::Residential.sample_user_count(&mut rng);
+            assert!((1..=5).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Diurnal activity profiles (paper §4, Fig 4).
+//!
+//! Europe shows a classic leisure pattern: evening prime time
+//! (18:00–20:00), a mid-morning plateau around half of peak, and a
+//! night floor near 20 % of peak. African countries add a strong
+//! morning component — Congo's absolute peak is at 10:00 local — and
+//! keep a night floor near 40 % of peak, because shared access points
+//! serve people throughout the working day.
+
+use crate::archetype::Archetype;
+use crate::country::Country;
+use satwatch_simcore::Rng;
+
+/// Relative activity (0..=1, max = 1) for each local hour.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiurnalProfile {
+    weights: [f64; 24],
+}
+
+impl DiurnalProfile {
+    /// Build the profile for a country/archetype pair.
+    pub fn new(country: Country, archetype: Archetype) -> DiurnalProfile {
+        let mut w = if country.is_african() {
+            african_base()
+        } else {
+            european_base()
+        };
+        if archetype.daytime_biased() {
+            // Businesses/cafés concentrate activity into 8:00–18:00.
+            for (h, v) in w.iter_mut().enumerate() {
+                let office = matches!(h, 8..=18);
+                *v *= if office { 1.3 } else { 0.45 };
+            }
+        }
+        let max = w.iter().fold(0.0f64, |a, &b| a.max(b));
+        for v in &mut w {
+            *v /= max;
+        }
+        DiurnalProfile { weights: w }
+    }
+
+    /// Relative activity at a local hour.
+    pub fn at(&self, local_hour: u32) -> f64 {
+        self.weights[(local_hour % 24) as usize]
+    }
+
+    /// Sample a local hour according to the profile (used to place
+    /// flow start times within a day).
+    pub fn sample_hour(&self, rng: &mut Rng) -> u32 {
+        let total: f64 = self.weights.iter().sum();
+        let mut u = rng.f64() * total;
+        for (h, &w) in self.weights.iter().enumerate() {
+            if u < w {
+                return h as u32;
+            }
+            u -= w;
+        }
+        23
+    }
+
+    /// The busiest local hour.
+    pub fn peak_hour(&self) -> u32 {
+        self.weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(h, _)| h as u32)
+            .unwrap_or(0)
+    }
+}
+
+/// European residential base shape: night floor ~0.2, morning ~0.5,
+/// evening prime-time peak at 19:00.
+fn european_base() -> [f64; 24] {
+    [
+        0.28, 0.22, 0.20, 0.20, 0.21, 0.24, 0.32, 0.42, 0.50, 0.52, 0.54, 0.56, //
+        0.58, 0.56, 0.55, 0.57, 0.62, 0.75, 0.92, 1.00, 0.97, 0.82, 0.60, 0.40,
+    ]
+}
+
+/// African base shape: strong morning (peak 10:00), sustained day,
+/// evening secondary peak ~0.95, night floor ~0.4.
+fn african_base() -> [f64; 24] {
+    [
+        0.48, 0.42, 0.40, 0.40, 0.42, 0.50, 0.68, 0.85, 0.96, 0.99, 1.00, 0.93, //
+        0.84, 0.77, 0.72, 0.70, 0.70, 0.76, 0.86, 0.92, 0.85, 0.72, 0.60, 0.52,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn european_evening_peak() {
+        let p = DiurnalProfile::new(Country::Spain, Archetype::Residential);
+        let peak = p.peak_hour();
+        assert!((18..=20).contains(&peak), "{peak}");
+        // morning about half of peak, night as low as ~0.2
+        assert!(p.at(9) < 0.6);
+        assert!(p.at(3) <= 0.25);
+    }
+
+    #[test]
+    fn african_morning_peak() {
+        let p = DiurnalProfile::new(Country::Congo, Archetype::Residential);
+        let peak = p.peak_hour();
+        assert!((9..=11).contains(&peak), "{peak}");
+        // night floor near 40 % of peak (Fig 4)
+        assert!(p.at(2) >= 0.35);
+        // morning ≥ 90 % of evening
+        assert!(p.at(10) >= 0.9 * p.at(19));
+    }
+
+    #[test]
+    fn daytime_bias_shifts_cafes() {
+        let cafe = DiurnalProfile::new(Country::Congo, Archetype::InternetCafe);
+        assert!((8..=18).contains(&cafe.peak_hour()));
+        assert!(cafe.at(2) < cafe.at(11) * 0.5);
+    }
+
+    #[test]
+    fn profile_normalised_to_one() {
+        for c in [Country::Spain, Country::Congo, Country::Uk] {
+            for a in [Archetype::Residential, Archetype::Business] {
+                let p = DiurnalProfile::new(c, a);
+                let max = (0..24).map(|h| p.at(h)).fold(0.0f64, f64::max);
+                assert!((max - 1.0).abs() < 1e-9);
+                for h in 0..24 {
+                    assert!(p.at(h) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_hours_follow_profile() {
+        let p = DiurnalProfile::new(Country::Spain, Archetype::Residential);
+        let mut rng = Rng::new(1);
+        let mut counts = [0u32; 24];
+        for _ in 0..100_000 {
+            counts[p.sample_hour(&mut rng) as usize] += 1;
+        }
+        // evening hour must be sampled far more than deep night
+        assert!(counts[19] > 3 * counts[3], "{} vs {}", counts[19], counts[3]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-country DNS resolver choice (paper §6.3, Fig 10 calibration).
+//!
+//! Customers configure their own resolvers; the observed per-country
+//! shares of DNS volume come from the paper's Fig 10 matrix, which
+//! `Country::resolver_shares` carries. This module turns those shares
+//! into a sampling distribution per country.
+
+use crate::country::Country;
+use satwatch_internet::ResolverId;
+use satwatch_simcore::dist::Categorical;
+use satwatch_simcore::Rng;
+
+/// Sampler over the resolvers a country's customers use.
+#[derive(Clone, Debug)]
+pub struct ResolverChoice {
+    resolvers: Vec<ResolverId>,
+    dist: Categorical,
+}
+
+impl ResolverChoice {
+    pub fn for_country(country: Country) -> ResolverChoice {
+        let shares = country.resolver_shares();
+        let resolvers: Vec<ResolverId> = shares.iter().map(|(r, _)| *r).collect();
+        let weights: Vec<f64> = shares.iter().map(|(_, w)| w.max(1e-9)).collect();
+        ResolverChoice { resolvers, dist: Categorical::new(&weights) }
+    }
+
+    pub fn sample(&self, rng: &mut Rng) -> ResolverId {
+        self.resolvers[self.dist.sample_index(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn empirical_shares(country: Country, n: usize) -> HashMap<ResolverId, f64> {
+        let choice = ResolverChoice::for_country(country);
+        let mut rng = Rng::new(11);
+        let mut counts: HashMap<ResolverId, usize> = HashMap::new();
+        for _ in 0..n {
+            *counts.entry(choice.sample(&mut rng)).or_default() += 1;
+        }
+        counts.into_iter().map(|(r, c)| (r, c as f64 / n as f64)).collect()
+    }
+
+    #[test]
+    fn congo_google_share_calibrated() {
+        let shares = empirical_shares(Country::Congo, 100_000);
+        let google = shares[&ResolverId::Google];
+        assert!((google - 0.8568).abs() < 0.01, "{google}");
+        // Chinese resolvers present in Congo
+        assert!(shares.get(&ResolverId::Dns114).copied().unwrap_or(0.0) > 0.02);
+    }
+
+    #[test]
+    fn ireland_prefers_operator() {
+        let shares = empirical_shares(Country::Ireland, 100_000);
+        let op = shares[&ResolverId::OperatorEu];
+        assert!((op - 0.4375).abs() < 0.01, "{op}");
+        // no Nigerian resolver use in Ireland
+        assert!(shares.get(&ResolverId::Nigerian).copied().unwrap_or(0.0) < 1e-3);
+    }
+
+    #[test]
+    fn nigeria_uses_local_resolver() {
+        let shares = empirical_shares(Country::Nigeria, 100_000);
+        let local = shares[&ResolverId::Nigerian];
+        assert!((local - 0.1184).abs() < 0.01, "{local}");
+    }
+
+    #[test]
+    fn every_country_builds() {
+        let mut rng = Rng::new(1);
+        for c in Country::ALL {
+            let choice = ResolverChoice::for_country(c);
+            let _ = choice.sample(&mut rng);
+        }
+    }
+}

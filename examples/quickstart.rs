@@ -1,0 +1,47 @@
+//! Quickstart: simulate a small GEO SatCom deployment for one day,
+//! run the passive probe at the ground station, and print the
+//! headline reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart [customers] [days] [seed]
+//! ```
+
+use satwatch::scenario::{experiments, run, ScenarioConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let customers: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let days: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let cfg = ScenarioConfig::tiny().with_customers(customers).with_days(days).with_seed(seed);
+    eprintln!("simulating {customers} customers × {days} day(s), seed {seed} …");
+    let t0 = std::time::Instant::now();
+    let ds = run(cfg);
+    eprintln!(
+        "done in {:.1?}: {} packets, {} flows, {} DNS transactions",
+        t0.elapsed(),
+        ds.packets,
+        ds.flows.len(),
+        ds.dns.len()
+    );
+
+    println!("{}", experiments::table1(&ds).render());
+    println!("{}", experiments::fig2(&ds).render());
+    println!("{}", experiments::fig8a(&ds).render());
+    println!("{}", experiments::fig9(&ds).render());
+    println!("{}", experiments::fig10(&ds).render());
+
+    // Satellite-RTT CDF, drawn in the terminal: C = Congo, S = Spain.
+    let fig8a = experiments::fig8a(&ds);
+    if let (Some((_, _, congo_peak)), Some((_, _, spain_peak))) = (
+        fig8a.row(satwatch::traffic::Country::Congo).map(|(c, n, p)| (c, n, p)),
+        fig8a.row(satwatch::traffic::Country::Spain).map(|(c, n, p)| (c, n, p)),
+    ) {
+        println!("Satellite RTT CDF at peak time (C = Congo, S = Spain), seconds:");
+        print!(
+            "{}",
+            satwatch::analytics::ascii::cdf_chart(&[('C', congo_peak), ('S', spain_peak)], 0.5, 3.0, 60, 12)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # satwatch
+//!
+//! A passive characterization toolkit for GEO satellite internet
+//! access, reproducing *"When Satellite is All You Have: Watching the
+//! Internet from 550 ms"* (Perdices et al., ACM IMC 2022) as a
+//! self-contained Rust workspace.
+//!
+//! The facade crate re-exports the whole stack:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation primitives.
+//! * [`netstack`] — wire formats (IPv4/TCP/UDP/TLS/DNS/HTTP/QUIC/RTP).
+//! * [`satcom`] — the GEO access network: geometry, beams, MAC,
+//!   FEC/ARQ, the split-TCP PEP, QoS shaping, ground station.
+//! * [`internet`] — regions, CDNs, open resolvers, server selection.
+//! * [`traffic`] — the country-calibrated synthetic population.
+//! * [`monitor`] — the Tstat-style passive probe (the paper's §2.2).
+//! * [`analytics`] — classification, aggregation, figure/table reports.
+//! * [`scenario`] — end-to-end runs and per-experiment harnesses.
+//! * [`errant`] — ERRANT-style emulation-profile fitting/export.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use satwatch::scenario::{self, ScenarioConfig};
+//! use satwatch::scenario::experiments;
+//!
+//! // Simulate a small deployment for one day and print Table 1.
+//! let ds = scenario::run(ScenarioConfig::tiny());
+//! let table1 = experiments::table1(&ds);
+//! println!("{}", table1.render());
+//! assert!(table1.share(satwatch::monitor::L7Protocol::TlsHttps) > 20.0);
+//! ```
+
+pub use satwatch_analytics as analytics;
+pub use satwatch_errant as errant;
+pub use satwatch_internet as internet;
+pub use satwatch_monitor as monitor;
+pub use satwatch_netstack as netstack;
+pub use satwatch_satcom as satcom;
+pub use satwatch_scenario as scenario;
+pub use satwatch_simcore as simcore;
+pub use satwatch_traffic as traffic;

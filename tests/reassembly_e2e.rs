@@ -1,0 +1,107 @@
+//! End-to-end reassembly robustness: the probe must classify flows
+//! and extract domains even when TLS handshakes are split across TCP
+//! segments and segments arrive out of order — conditions a real span
+//! port produces routinely.
+
+use bytes::Bytes;
+use satwatch::monitor::{FlowTableConfig, L7Protocol, Probe, ProbeConfig};
+use satwatch::netstack::tcp::{SeqNum, TcpFlags, TcpHeader};
+use satwatch::netstack::{tls, Packet, Subnet};
+use satwatch::simcore::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+fn probe() -> Probe {
+    Probe::new(ProbeConfig::new(FlowTableConfig::new(Subnet::new(
+        Ipv4Addr::new(10, 0, 0, 0),
+        8,
+    ))))
+}
+
+fn client() -> Ipv4Addr {
+    Ipv4Addr::new(10, 7, 7, 7)
+}
+
+fn server() -> Ipv4Addr {
+    Ipv4Addr::new(198, 18, 3, 3)
+}
+
+fn t(ms: i64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn seg(c2s: bool, seq: u32, flags: TcpFlags, payload: &[u8]) -> Packet {
+    let (src, dst, sp, dp) =
+        if c2s { (client(), server(), 50_001, 443) } else { (server(), client(), 443, 50_001) };
+    let mut h = TcpHeader::new(sp, dp, flags);
+    h.seq = SeqNum(seq);
+    Packet::tcp(src, dst, h, Bytes::copy_from_slice(payload))
+}
+
+#[test]
+fn split_and_reordered_client_hello_still_classifies() {
+    let mut p = probe();
+    // handshake anchors both streams' ISNs
+    p.observe(t(0), &seg(true, 100, TcpFlags::SYN, &[]));
+    p.observe(t(12), &seg(false, 900, TcpFlags::SYN_ACK, &[]));
+    // ClientHello split into three segments, delivered 3-1-2
+    let ch = tls::client_hello("reorder.whatsapp.net", [5; 32]);
+    let (a, rest) = ch.split_at(30);
+    let (b, c) = rest.split_at(50);
+    let base = 101u32;
+    p.observe(t(20), &seg(true, base + 80, TcpFlags::PSH_ACK, c));
+    p.observe(t(21), &seg(true, base, TcpFlags::PSH_ACK, a));
+    p.observe(t(22), &seg(true, base + 30, TcpFlags::PSH_ACK, b));
+    // server flight + CKE for the satellite RTT
+    p.observe(t(40), &seg(false, 901, TcpFlags::PSH_ACK, &tls::server_hello([1; 32])));
+    let mut reply = Vec::new();
+    reply.extend_from_slice(&tls::client_key_exchange(9));
+    reply.extend_from_slice(&tls::change_cipher_spec());
+    p.observe(t(640), &seg(true, base + ch.len() as u32, TcpFlags::PSH_ACK, &reply));
+    let (flows, _) = p.finish();
+    assert_eq!(flows.len(), 1);
+    let f = &flows[0];
+    assert_eq!(f.l7, L7Protocol::TlsHttps);
+    assert_eq!(f.domain.as_deref(), Some("reorder.whatsapp.net"));
+    assert_eq!(f.sat_rtt_ms, Some(600.0), "SH at t=40, CKE at t=640");
+}
+
+#[test]
+fn duplicated_segments_do_not_double_count_dpi() {
+    let mut p = probe();
+    p.observe(t(0), &seg(true, 100, TcpFlags::SYN, &[]));
+    p.observe(t(12), &seg(false, 900, TcpFlags::SYN_ACK, &[]));
+    let ch = tls::client_hello("dup.example.com", [2; 32]);
+    let pkt = seg(true, 101, TcpFlags::PSH_ACK, &ch);
+    p.observe(t(20), &pkt);
+    p.observe(t(300), &pkt); // spurious retransmission
+    let (flows, _) = p.finish();
+    assert_eq!(flows.len(), 1);
+    assert_eq!(flows[0].domain.as_deref(), Some("dup.example.com"));
+    assert_eq!(flows[0].c2s_retrans, 1, "retransmission counted once");
+    assert_eq!(flows[0].c2s_packets, 3, "SYN + two data segments");
+}
+
+#[test]
+fn unfillable_hole_degrades_gracefully() {
+    // The first bytes of the stream are lost forever: the probe must
+    // not wedge, must keep counting bytes/packets exactly, and must
+    // fall back to an "other" verdict — the same graceful degradation
+    // a mid-capture Tstat shows.
+    let mut p = probe();
+    p.observe(t(0), &seg(true, 100, TcpFlags::SYN, &[]));
+    p.observe(t(12), &seg(false, 900, TcpFlags::SYN_ACK, &[]));
+    let filler = vec![0u8; 100_000];
+    // hole at the stream head (ISN+1 = 101 never arrives)
+    p.observe(t(20), &seg(true, 10_000, TcpFlags::PSH_ACK, &filler));
+    p.observe(t(21), &seg(true, 150_000, TcpFlags::PSH_ACK, &filler));
+    let ch = tls::client_hello("late.example.net", [3; 32]);
+    p.observe(t(25), &seg(true, 400_000, TcpFlags::PSH_ACK, &ch));
+    let (flows, _) = p.finish();
+    assert_eq!(flows.len(), 1);
+    let f = &flows[0];
+    // byte/packet accounting is exact regardless of reassembly state
+    assert_eq!(f.c2s_packets, 4);
+    assert_eq!(f.c2s_payload_bytes, 200_000 + ch.len() as u64);
+    // with the head missing, the verdict degrades instead of guessing
+    assert_eq!(f.l7, L7Protocol::OtherTcp);
+}
