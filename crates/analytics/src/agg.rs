@@ -5,6 +5,15 @@
 //! customer's country (via the anonymized-subnet↔country map supplied
 //! by the operator) and the service (via the domain classifier), then
 //! build the aggregate views.
+//!
+//! The heavy group-bys come in two forms: the classic serial function
+//! (`table1`, `fig2`, …) and a `*_par` variant taking a worker count.
+//! The parallel form folds contiguous chunks of the record slice into
+//! per-worker partial maps and reduces them **in chunk order**
+//! ([`ordered_par_fold`]); every accumulator is either an exact
+//! integer sum or an order-preserving concatenation, so any worker
+//! count produces bit-identical reports. Serial is just `workers = 1`
+//! of the same code path.
 
 use crate::classify::{second_level_domain, Classifier};
 use crate::report::*;
@@ -12,8 +21,8 @@ use satwatch_internet::ResolverId;
 use satwatch_monitor::{DnsRecord, FlowRecord, L7Protocol};
 use satwatch_simcore::stats::{BoxplotSummary, Cdf};
 use satwatch_simcore::time::SECS_PER_DAY;
+use satwatch_simcore::{ordered_par_fold, FxHashMap, FxHashSet};
 use satwatch_traffic::{Category, Country};
-use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 /// Operator-provided enrichment: anonymized customer address →
@@ -22,8 +31,8 @@ use std::net::Ipv4Addr;
 /// support of the SatCom operator").
 #[derive(Clone, Debug, Default)]
 pub struct Enrichment {
-    pub country_of: HashMap<Ipv4Addr, Country>,
-    pub beam_of: HashMap<Ipv4Addr, u16>,
+    pub country_of: FxHashMap<Ipv4Addr, Country>,
+    pub beam_of: FxHashMap<Ipv4Addr, u16>,
     pub beams: Vec<BeamInfo>,
     /// Number of days the capture covers.
     pub days: u64,
@@ -66,13 +75,31 @@ fn local_hour_of(f: &FlowRecord, c: Country) -> u32 {
 
 /// Table 1: protocol volume shares.
 pub fn table1(flows: &[FlowRecord]) -> Table1 {
-    let mut by_proto: HashMap<L7Protocol, u64> = HashMap::new();
-    let mut total = 0u64;
-    for f in flows {
-        let b = flow_bytes(f);
-        *by_proto.entry(f.l7).or_default() += b;
-        total += b;
-    }
+    table1_par(flows, 1)
+}
+
+/// [`table1`] on `workers` threads; identical output at any count.
+pub fn table1_par(flows: &[FlowRecord], workers: usize) -> Table1 {
+    let (by_proto, total) = ordered_par_fold(
+        workers,
+        flows,
+        |chunk| {
+            let mut by: FxHashMap<L7Protocol, u64> = FxHashMap::default();
+            let mut total = 0u64;
+            for f in chunk {
+                let b = flow_bytes(f);
+                *by.entry(f.l7).or_default() += b;
+                total += b;
+            }
+            (by, total)
+        },
+        |(mut a, at), (b, bt)| {
+            for (k, v) in b {
+                *a.entry(k).or_default() += v;
+            }
+            (a, at + bt)
+        },
+    );
     let rows = L7Protocol::ALL
         .into_iter()
         .map(|p| (p, 100.0 * by_proto.get(&p).copied().unwrap_or(0) as f64 / total.max(1) as f64))
@@ -82,26 +109,41 @@ pub fn table1(flows: &[FlowRecord]) -> Table1 {
 
 /// Figure 2: per-country volume & customer shares.
 pub fn fig2(flows: &[FlowRecord], enr: &Enrichment) -> Fig2 {
-    let mut vol: HashMap<Country, u64> = HashMap::new();
-    let mut total = 0u64;
-    for f in flows {
-        if let Some(c) = enr.country(f.client) {
-            let b = flow_bytes(f);
-            *vol.entry(c).or_default() += b;
-            total += b;
-        }
-    }
+    fig2_par(flows, enr, 1)
+}
+
+/// [`fig2`] on `workers` threads; identical output at any count.
+pub fn fig2_par(flows: &[FlowRecord], enr: &Enrichment, workers: usize) -> Fig2 {
+    let (vol, total) = ordered_par_fold(
+        workers,
+        flows,
+        |chunk| {
+            let mut vol: FxHashMap<Country, u64> = FxHashMap::default();
+            let mut total = 0u64;
+            for f in chunk {
+                if let Some(c) = enr.country(f.client) {
+                    let b = flow_bytes(f);
+                    *vol.entry(c).or_default() += b;
+                    total += b;
+                }
+            }
+            (vol, total)
+        },
+        |(mut a, at), (b, bt)| {
+            for (k, v) in b {
+                *a.entry(k).or_default() += v;
+            }
+            (a, at + bt)
+        },
+    );
     let total_customers: usize = enr.country_of.len();
     let mut rows: Vec<(Country, f64, f64, f64)> = Country::ALL
         .into_iter()
         .map(|c| {
             let v = vol.get(&c).copied().unwrap_or(0);
             let customers = enr.customers_in(c);
-            let mb_per_day = if customers == 0 || enr.days == 0 {
-                0.0
-            } else {
-                v as f64 / 1e6 / customers as f64 / enr.days as f64
-            };
+            let mb_per_day =
+                if customers == 0 || enr.days == 0 { 0.0 } else { v as f64 / 1e6 / customers as f64 / enr.days as f64 };
             (
                 c,
                 100.0 * v as f64 / total.max(1) as f64,
@@ -116,12 +158,33 @@ pub fn fig2(flows: &[FlowRecord], enr: &Enrichment) -> Fig2 {
 
 /// Figure 3: protocol share per country (descending volume order).
 pub fn fig3(flows: &[FlowRecord], enr: &Enrichment) -> Fig3 {
-    let mut vol: HashMap<Country, HashMap<L7Protocol, u64>> = HashMap::new();
-    for f in flows {
-        if let Some(c) = enr.country(f.client) {
-            *vol.entry(c).or_default().entry(f.l7).or_default() += flow_bytes(f);
-        }
-    }
+    fig3_par(flows, enr, 1)
+}
+
+/// [`fig3`] on `workers` threads; identical output at any count.
+pub fn fig3_par(flows: &[FlowRecord], enr: &Enrichment, workers: usize) -> Fig3 {
+    let vol = ordered_par_fold(
+        workers,
+        flows,
+        |chunk| {
+            let mut vol: FxHashMap<Country, FxHashMap<L7Protocol, u64>> = FxHashMap::default();
+            for f in chunk {
+                if let Some(c) = enr.country(f.client) {
+                    *vol.entry(c).or_default().entry(f.l7).or_default() += flow_bytes(f);
+                }
+            }
+            vol
+        },
+        |mut a, b| {
+            for (c, protos) in b {
+                let dst = a.entry(c).or_default();
+                for (p, v) in protos {
+                    *dst.entry(p).or_default() += v;
+                }
+            }
+            a
+        },
+    );
     let mut rows: Vec<(Country, Vec<(L7Protocol, f64)>)> = vol
         .into_iter()
         .map(|(c, protos)| {
@@ -139,19 +202,43 @@ pub fn fig3(flows: &[FlowRecord], enr: &Enrichment) -> Fig3 {
 
 /// Figure 4: hourly traffic profile normalised per country.
 pub fn fig4(flows: &[FlowRecord], enr: &Enrichment) -> Fig4 {
-    let mut by_hour: HashMap<Country, [f64; 24]> = HashMap::new();
-    for f in flows {
-        if let Some(c) = enr.country(f.client) {
-            by_hour.entry(c).or_insert([0.0; 24])[f.first.hour_of_day() as usize] +=
-                flow_bytes(f) as f64;
-        }
-    }
+    fig4_par(flows, enr, 1)
+}
+
+/// [`fig4`] on `workers` threads; identical output at any count.
+/// Byte counts accumulate in `u64` (exact and associative) and only
+/// become `f64` at the final normalisation, so the parallel reduce
+/// cannot drift from the serial fold by rounding.
+pub fn fig4_par(flows: &[FlowRecord], enr: &Enrichment, workers: usize) -> Fig4 {
+    let by_hour = ordered_par_fold(
+        workers,
+        flows,
+        |chunk| {
+            let mut by: FxHashMap<Country, [u64; 24]> = FxHashMap::default();
+            for f in chunk {
+                if let Some(c) = enr.country(f.client) {
+                    by.entry(c).or_insert([0; 24])[f.first.hour_of_day() as usize] += flow_bytes(f);
+                }
+            }
+            by
+        },
+        |mut a, b| {
+            for (c, hours) in b {
+                let dst = a.entry(c).or_insert([0; 24]);
+                for (d, h) in dst.iter_mut().zip(hours) {
+                    *d += h;
+                }
+            }
+            a
+        },
+    );
     let mut rows: Vec<(Country, [f64; 24])> = by_hour
         .into_iter()
-        .map(|(c, mut prof)| {
-            let max = prof.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-9);
-            for v in &mut prof {
-                *v /= max;
+        .map(|(c, bytes)| {
+            let max = bytes.iter().copied().max().unwrap_or(0).max(1) as f64;
+            let mut prof = [0.0; 24];
+            for (p, b) in prof.iter_mut().zip(bytes) {
+                *p = b as f64 / max;
             }
             (c, prof)
         })
@@ -161,35 +248,73 @@ pub fn fig4(flows: &[FlowRecord], enr: &Enrichment) -> Fig4 {
 }
 
 /// Per-customer-day rollup used by Fig 5 and Fig 7.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CustomerDay {
     pub flows: u64,
     pub down: u64,
     pub up: u64,
-    pub by_category: HashMap<Category, u64>,
-    pub services: HashSet<&'static str>,
+    pub by_category: FxHashMap<Category, u64>,
+    pub services: FxHashSet<&'static str>,
+}
+
+impl CustomerDay {
+    /// Merge another summary of the same (client, day) into this one.
+    /// Every field is an exact sum or a set union, so merge order
+    /// cannot change the result.
+    fn absorb(&mut self, other: CustomerDay) {
+        self.flows += other.flows;
+        self.down += other.down;
+        self.up += other.up;
+        for (cat, bytes) in other.by_category {
+            *self.by_category.entry(cat).or_default() += bytes;
+        }
+        self.services.extend(other.services);
+    }
 }
 
 /// Roll flows up into per-(client, day) summaries.
-pub fn customer_days(
+pub fn customer_days(flows: &[FlowRecord], classifier: &Classifier) -> FxHashMap<(Ipv4Addr, u64), CustomerDay> {
+    customer_days_par(flows, classifier, 1)
+}
+
+/// [`customer_days`] on `workers` threads; identical output at any count.
+pub fn customer_days_par(
     flows: &[FlowRecord],
     classifier: &Classifier,
-) -> HashMap<(Ipv4Addr, u64), CustomerDay> {
-    let mut map: HashMap<(Ipv4Addr, u64), CustomerDay> = HashMap::new();
-    for f in flows {
-        let day = f.first.as_secs() / SECS_PER_DAY;
-        let e = map.entry((f.client, day)).or_default();
-        e.flows += 1;
-        e.down += f.s2c_bytes;
-        e.up += f.c2s_bytes;
-        if let Some(domain) = &f.domain {
-            if let Some((svc, cat)) = classifier.classify(domain) {
-                *e.by_category.entry(cat).or_default() += flow_bytes(f);
-                e.services.insert(svc);
+    workers: usize,
+) -> FxHashMap<(Ipv4Addr, u64), CustomerDay> {
+    ordered_par_fold(
+        workers,
+        flows,
+        |chunk| {
+            let mut map: FxHashMap<(Ipv4Addr, u64), CustomerDay> = FxHashMap::default();
+            for f in chunk {
+                let day = f.first.as_secs() / SECS_PER_DAY;
+                let e = map.entry((f.client, day)).or_default();
+                e.flows += 1;
+                e.down += f.s2c_bytes;
+                e.up += f.c2s_bytes;
+                if let Some(domain) = &f.domain {
+                    if let Some((svc, cat)) = classifier.classify(domain) {
+                        *e.by_category.entry(cat).or_default() += flow_bytes(f);
+                        e.services.insert(svc);
+                    }
+                }
             }
-        }
-    }
-    map
+            map
+        },
+        |mut a, b| {
+            for (k, cd) in b {
+                match a.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(cd),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(cd);
+                    }
+                }
+            }
+            a
+        },
+    )
 }
 
 /// Threshold defining an *active* customer-day (paper §4: ≥ 250 flows).
@@ -197,10 +322,10 @@ pub const ACTIVE_FLOWS_THRESHOLD: u64 = 250;
 
 /// Figure 5: CCDF sources of daily flows / download / upload.
 /// Volumes are restricted to active customer-days, as in the paper.
-pub fn fig5(days: &HashMap<(Ipv4Addr, u64), CustomerDay>, enr: &Enrichment) -> Fig5 {
-    let mut flows_by_c: HashMap<Country, Vec<f64>> = HashMap::new();
-    let mut down_by_c: HashMap<Country, Vec<f64>> = HashMap::new();
-    let mut up_by_c: HashMap<Country, Vec<f64>> = HashMap::new();
+pub fn fig5(days: &FxHashMap<(Ipv4Addr, u64), CustomerDay>, enr: &Enrichment) -> Fig5 {
+    let mut flows_by_c: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
+    let mut down_by_c: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
+    let mut up_by_c: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
     for ((client, _), cd) in days {
         let Some(c) = enr.country(*client) else { continue };
         flows_by_c.entry(c).or_default().push(cd.flows as f64);
@@ -225,13 +350,13 @@ pub fn fig5(days: &HashMap<(Ipv4Addr, u64), CustomerDay>, enr: &Enrichment) -> F
 
 /// Figure 6: service popularity (% of customers per day).
 pub fn fig6(
-    days: &HashMap<(Ipv4Addr, u64), CustomerDay>,
+    days: &FxHashMap<(Ipv4Addr, u64), CustomerDay>,
     enr: &Enrichment,
     services: &[&'static str],
     countries: &[Country],
 ) -> Fig6 {
     // count customer-days on which each (service, country) was used
-    let mut used: HashMap<(&'static str, Country), u64> = HashMap::new();
+    let mut used: FxHashMap<(&'static str, Country), u64> = FxHashMap::default();
     for ((client, _), cd) in days {
         let Some(c) = enr.country(*client) else { continue };
         for svc in &cd.services {
@@ -255,12 +380,8 @@ pub fn fig6(
 
 /// Figure 7: daily volume boxplots per (country, category), over the
 /// customer-days that accessed the category.
-pub fn fig7(
-    days: &HashMap<(Ipv4Addr, u64), CustomerDay>,
-    enr: &Enrichment,
-    countries: &[Country],
-) -> Fig7 {
-    let mut volumes: HashMap<(Country, Category), Vec<f64>> = HashMap::new();
+pub fn fig7(days: &FxHashMap<(Ipv4Addr, u64), CustomerDay>, enr: &Enrichment, countries: &[Country]) -> Fig7 {
+    let mut volumes: FxHashMap<(Country, Category), Vec<f64>> = FxHashMap::default();
     for ((client, _), cd) in days {
         let Some(c) = enr.country(*client) else { continue };
         for (cat, bytes) in &cd.by_category {
@@ -282,8 +403,8 @@ pub fn fig7(
 
 /// Figure 8a: satellite RTT night vs peak per country.
 pub fn fig8a(flows: &[FlowRecord], enr: &Enrichment, countries: &[Country]) -> Fig8a {
-    let mut night: HashMap<Country, Vec<f64>> = HashMap::new();
-    let mut peak: HashMap<Country, Vec<f64>> = HashMap::new();
+    let mut night: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
+    let mut peak: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
     for f in flows {
         let (Some(c), Some(rtt)) = (enr.country(f.client), f.sat_rtt_ms) else { continue };
         let h = local_hour_of(f, c);
@@ -307,10 +428,9 @@ pub fn fig8a(flows: &[FlowRecord], enr: &Enrichment, countries: &[Country]) -> F
 /// Figure 8b: per-beam median satellite RTT (peak hours) vs
 /// normalised utilization.
 pub fn fig8b(flows: &[FlowRecord], enr: &Enrichment) -> Fig8b {
-    let mut samples: HashMap<u16, Vec<f64>> = HashMap::new();
+    let mut samples: FxHashMap<u16, Vec<f64>> = FxHashMap::default();
     for f in flows {
-        let (Some(c), Some(rtt), Some(&beam)) =
-            (enr.country(f.client), f.sat_rtt_ms, enr.beam_of.get(&f.client))
+        let (Some(c), Some(rtt), Some(&beam)) = (enr.country(f.client), f.sat_rtt_ms, enr.beam_of.get(&f.client))
         else {
             continue;
         };
@@ -318,8 +438,7 @@ pub fn fig8b(flows: &[FlowRecord], enr: &Enrichment) -> Fig8b {
             samples.entry(beam).or_default().push(rtt / 1e3);
         }
     }
-    let max_util =
-        enr.beams.iter().map(|b| b.peak_utilization).fold(0.0f64, f64::max).max(1e-9);
+    let max_util = enr.beams.iter().map(|b| b.peak_utilization).fold(0.0f64, f64::max).max(1e-9);
     let mut rows = Vec::new();
     for (beam, mut v) in samples {
         let info = &enr.beams[beam as usize];
@@ -333,7 +452,7 @@ pub fn fig8b(flows: &[FlowRecord], enr: &Enrichment) -> Fig8b {
 
 /// Figure 9: traffic-weighted ground RTT distribution per country.
 pub fn fig9(flows: &[FlowRecord], enr: &Enrichment, countries: &[Country]) -> Fig9 {
-    let mut samples: HashMap<Country, Vec<(f64, f64)>> = HashMap::new();
+    let mut samples: FxHashMap<Country, Vec<(f64, f64)>> = FxHashMap::default();
     for f in flows {
         let Some(c) = enr.country(f.client) else { continue };
         if f.ground_rtt.samples == 0 {
@@ -355,6 +474,13 @@ pub fn fig9(flows: &[FlowRecord], enr: &Enrichment, countries: &[Country]) -> Fi
 
 /// Figure 10: resolver adoption per country + median response times.
 pub fn fig10(dns: &[DnsRecord], enr: &Enrichment, countries: &[Country]) -> Fig10 {
+    fig10_par(dns, enr, countries, 1)
+}
+
+/// [`fig10`] on `workers` threads; identical output at any count.
+/// Response-time vectors concatenate in chunk order, reproducing the
+/// serial observation order before the final sort.
+pub fn fig10_par(dns: &[DnsRecord], enr: &Enrichment, countries: &[Country], workers: usize) -> Fig10 {
     let resolvers: Vec<ResolverId> = vec![
         ResolverId::OperatorEu,
         ResolverId::Google,
@@ -367,20 +493,40 @@ pub fn fig10(dns: &[DnsRecord], enr: &Enrichment, countries: &[Country]) -> Fig1
         ResolverId::Other,
     ];
     let rid = |addr: Ipv4Addr| ResolverId::from_address(addr).unwrap_or(ResolverId::Other);
-    let mut counts: HashMap<(ResolverId, Country), u64> = HashMap::new();
-    let mut totals: HashMap<Country, u64> = HashMap::new();
-    let mut times: HashMap<ResolverId, Vec<f64>> = HashMap::new();
-    for d in dns {
-        let Some(c) = enr.country(d.client) else { continue };
-        let r = rid(d.resolver);
-        // fold the resolvers we don't break out into "Other"
-        let r = if resolvers.contains(&r) { r } else { ResolverId::Other };
-        *counts.entry((r, c)).or_default() += 1;
-        *totals.entry(c).or_default() += 1;
-        if let Some(ms) = d.response_ms {
-            times.entry(r).or_default().push(ms);
-        }
-    }
+    type Fig10Acc = (FxHashMap<(ResolverId, Country), u64>, FxHashMap<Country, u64>, FxHashMap<ResolverId, Vec<f64>>);
+    let (counts, totals, times): Fig10Acc = ordered_par_fold(
+        workers,
+        dns,
+        |chunk| {
+            let mut counts: FxHashMap<(ResolverId, Country), u64> = FxHashMap::default();
+            let mut totals: FxHashMap<Country, u64> = FxHashMap::default();
+            let mut times: FxHashMap<ResolverId, Vec<f64>> = FxHashMap::default();
+            for d in chunk {
+                let Some(c) = enr.country(d.client) else { continue };
+                let r = rid(d.resolver);
+                // fold the resolvers we don't break out into "Other"
+                let r = if resolvers.contains(&r) { r } else { ResolverId::Other };
+                *counts.entry((r, c)).or_default() += 1;
+                *totals.entry(c).or_default() += 1;
+                if let Some(ms) = d.response_ms {
+                    times.entry(r).or_default().push(ms);
+                }
+            }
+            (counts, totals, times)
+        },
+        |(mut ac, mut at, mut am), (bc, bt, bm)| {
+            for (k, v) in bc {
+                *ac.entry(k).or_default() += v;
+            }
+            for (k, v) in bt {
+                *at.entry(k).or_default() += v;
+            }
+            for (k, v) in bm {
+                am.entry(k).or_default().extend(v);
+            }
+            (ac, at, am)
+        },
+    );
     let share = resolvers
         .iter()
         .map(|r| {
@@ -421,8 +567,7 @@ pub fn table_cdn_selection(
     // (client, fqdn) → time-sorted lookups. A flow is attributed to
     // the most recent lookup *preceding* it within a freshness window,
     // so shared CPEs whose users mix resolvers do not cross-pollute.
-    let mut lookups: HashMap<(Ipv4Addr, &str), Vec<(satwatch_simcore::SimTime, ResolverId)>> =
-        HashMap::new();
+    let mut lookups: FxHashMap<(Ipv4Addr, &str), Vec<(satwatch_simcore::SimTime, ResolverId)>> = FxHashMap::default();
     for d in dns {
         let r = ResolverId::from_address(d.resolver).unwrap_or(ResolverId::Other);
         lookups.entry((d.client, d.query.as_str())).or_default().push((d.ts, r));
@@ -431,7 +576,7 @@ pub fn table_cdn_selection(
         v.sort_by_key(|(t, _)| *t);
     }
     let fresh = satwatch_simcore::SimDuration::from_secs(30);
-    let mut acc: HashMap<(String, Country, ResolverId), (f64, usize)> = HashMap::new();
+    let mut acc: FxHashMap<(String, Country, ResolverId), (f64, usize)> = FxHashMap::default();
     for f in flows {
         let (Some(c), Some(domain)) = (enr.country(f.client), f.domain.as_deref()) else { continue };
         if !countries.contains(&c) || f.ground_rtt.samples == 0 {
@@ -464,7 +609,7 @@ pub fn table_cdn_selection(
 /// "the first longitudinal study of SatCom traffic"; this is the
 /// day-granularity companion of the hourly Fig 4).
 pub fn daily_trend(flows: &[FlowRecord], enr: &Enrichment) -> Vec<(Country, Vec<u64>)> {
-    let mut by: HashMap<Country, Vec<u64>> = HashMap::new();
+    let mut by: FxHashMap<Country, Vec<u64>> = FxHashMap::default();
     let days = enr.days.max(1) as usize;
     for f in flows {
         let Some(c) = enr.country(f.client) else { continue };
@@ -484,9 +629,9 @@ pub const THROUGHPUT_MIN_BYTES: u64 = 10_000_000;
 
 /// Figure 11: download throughput per country over large flows.
 pub fn fig11(flows: &[FlowRecord], enr: &Enrichment, countries: &[Country]) -> Fig11 {
-    let mut all: HashMap<Country, Vec<f64>> = HashMap::new();
-    let mut night: HashMap<Country, Vec<f64>> = HashMap::new();
-    let mut peak: HashMap<Country, Vec<f64>> = HashMap::new();
+    let mut all: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
+    let mut night: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
+    let mut peak: FxHashMap<Country, Vec<f64>> = FxHashMap::default();
     for f in flows {
         let Some(c) = enr.country(f.client) else { continue };
         if f.s2c_bytes < THROUGHPUT_MIN_BYTES {
@@ -600,11 +745,8 @@ mod tests {
 
     #[test]
     fn fig5_active_threshold_applies() {
-        let mut days: HashMap<(Ipv4Addr, u64), CustomerDay> = HashMap::new();
-        days.insert(
-            (client(1), 0),
-            CustomerDay { flows: 300, down: 5_000_000_000, up: 100, ..Default::default() },
-        );
+        let mut days: FxHashMap<(Ipv4Addr, u64), CustomerDay> = FxHashMap::default();
+        days.insert((client(1), 0), CustomerDay { flows: 300, down: 5_000_000_000, up: 100, ..Default::default() });
         days.insert((client(2), 0), CustomerDay { flows: 100, down: 9_999_999_999, up: 10, ..Default::default() });
         let f = fig5(&days, &enrichment());
         // Spain's customer was inactive: no volume rows for Spain
@@ -723,5 +865,40 @@ mod tests {
     fn night_peak_windows() {
         assert!(is_night(2) && is_night(4) && !is_night(5) && !is_night(1));
         assert!(is_peak(13) && is_peak(19) && !is_peak(20) && !is_peak(12));
+    }
+
+    #[test]
+    fn parallel_aggregations_match_serial() {
+        let mut flows = Vec::new();
+        for i in 0..211u32 {
+            let c = client(1 + (i % 2) as u8);
+            let l7 = if i % 3 == 0 { L7Protocol::Quic } else { L7Protocol::TlsHttps };
+            let domain = if i % 4 == 0 { Some("video.tiktokv.com") } else { None };
+            flows.push(flow(c, l7, 1_000 + u64::from(i) * 7, 100 + u64::from(i), i % 24, domain));
+        }
+        let enr = enrichment();
+        let classifier = Classifier::standard();
+        let dns: Vec<DnsRecord> = (0..50)
+            .map(|i| DnsRecord {
+                client: client(1 + (i % 2) as u8),
+                resolver: if i % 2 == 0 { ResolverId::Google.address() } else { ResolverId::OperatorEu.address() },
+                query: "x.example".into(),
+                ts: SimTime::from_secs(i),
+                response_ms: Some(20.0 + i as f64),
+                answers: vec![],
+            })
+            .collect();
+        let days_serial = customer_days(&flows, &classifier);
+        for workers in [2, 3, 8] {
+            assert_eq!(format!("{:?}", table1(&flows)), format!("{:?}", table1_par(&flows, workers)));
+            assert_eq!(format!("{:?}", fig2(&flows, &enr)), format!("{:?}", fig2_par(&flows, &enr, workers)));
+            assert_eq!(format!("{:?}", fig3(&flows, &enr)), format!("{:?}", fig3_par(&flows, &enr, workers)));
+            assert_eq!(format!("{:?}", fig4(&flows, &enr)), format!("{:?}", fig4_par(&flows, &enr, workers)));
+            assert_eq!(days_serial, customer_days_par(&flows, &classifier, workers));
+            assert_eq!(
+                format!("{:?}", fig10(&dns, &enr, &[Country::Congo, Country::Spain])),
+                format!("{:?}", fig10_par(&dns, &enr, &[Country::Congo, Country::Spain], workers)),
+            );
+        }
     }
 }

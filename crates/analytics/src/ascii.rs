@@ -12,9 +12,7 @@ pub fn cdf_chart(series: &[(char, &Cdf)], x_min: f64, x_max: f64, width: usize, 
     assert!(x_max > x_min && width >= 10 && height >= 4);
     let mut grid = vec![vec![' '; width]; height];
     for &(marker, cdf) in series {
-        for (col, x) in (0..width)
-            .map(|c| (c, x_min + (x_max - x_min) * c as f64 / (width - 1) as f64))
-        {
+        for (col, x) in (0..width).map(|c| (c, x_min + (x_max - x_min) * c as f64 / (width - 1) as f64)) {
             let p = cdf.at(x);
             // row 0 is the top (p = 1)
             let row = ((1.0 - p) * (height - 1) as f64).round() as usize;
@@ -77,8 +75,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let rows =
-            vec![("Congo".to_string(), 100.0), ("Spain".to_string(), 50.0), ("empty".to_string(), 0.0)];
+        let rows = vec![("Congo".to_string(), 100.0), ("Spain".to_string(), 50.0), ("empty".to_string(), 0.0)];
         let s = bars(&rows, 20);
         let lines: Vec<&str> = s.lines().collect();
         let count = |l: &str| l.chars().filter(|&c| c == '#').count();

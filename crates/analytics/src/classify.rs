@@ -71,34 +71,204 @@ impl Classifier {
         use Category::*;
         let rules = vec![
             // ---- Table 3, transcribed ----
-            rule!("Spotify", Audio, [Suffix("spotify.com"), SubdomainSuffix("scdn.com"), SubdomainSuffix("scdn.co"), Suffix("pscdn.spotify.com"), Suffix("scdn.co")]),
-            rule!("Youtube", Video, [Suffix("googlevideo.com"), SubdomainSuffix("ytimg.com"), SubdomainSuffix("youtube.com"), SubdomainSuffix("gvt1.com"), SubdomainSuffix("gvt2.com"), SubdomainSuffix("youtube-nocookie.com"), Suffix("youtube.com")]),
-            rule!("Netflix", Video, [Contains("netflix"), Contains("nflxext."), Contains("nflximg"), Contains("nflxvideo"), Contains("nflxso.")]),
+            rule!(
+                "Spotify",
+                Audio,
+                [
+                    Suffix("spotify.com"),
+                    SubdomainSuffix("scdn.com"),
+                    SubdomainSuffix("scdn.co"),
+                    Suffix("pscdn.spotify.com"),
+                    Suffix("scdn.co")
+                ]
+            ),
+            rule!(
+                "Youtube",
+                Video,
+                [
+                    Suffix("googlevideo.com"),
+                    SubdomainSuffix("ytimg.com"),
+                    SubdomainSuffix("youtube.com"),
+                    SubdomainSuffix("gvt1.com"),
+                    SubdomainSuffix("gvt2.com"),
+                    SubdomainSuffix("youtube-nocookie.com"),
+                    Suffix("youtube.com")
+                ]
+            ),
+            rule!(
+                "Netflix",
+                Video,
+                [
+                    Contains("netflix"),
+                    Contains("nflxext."),
+                    Contains("nflximg"),
+                    Contains("nflxvideo"),
+                    Contains("nflxso.")
+                ]
+            ),
             rule!("Sky", Video, [SubdomainSuffix("sky.com"), Suffix("sky.com")]),
-            rule!("Primevideo", Video, [Suffix("amazonvideo.com"), Suffix("primevideo.com"), Suffix("pv-cdn.net"), Suffix("atv-ps.amazon.com"), Suffix("atv-ext.amazon.com"), Suffix("atv-ext-eu.amazon.com"), Suffix("atv-ext-fe.amazon.com"), Prefix("atv-ps-eu.amazon"), Prefix("atv-ps-fe.amazon")]),
-            rule!("Facebook", Social, [Suffix("facebook.com"), Suffix("fbcdn.net"), Suffix("facebook.net"), Prefix("fbcdn"), Prefix("fbstatic"), Prefix("fbexternal"), Suffix("fbsbx.com"), Suffix("fb.com")]),
-            rule!("Twitter", Social, [SubdomainSuffix("twitter.com"), SubdomainSuffix("twimg.com"), Suffix("twitter.com"), Suffix("twitter.com.edgesuite.net"), Suffix("twitter-any.s3.amazonaws.com"), Suffix("twitter-blog.s3.amazonaws.com")]),
+            rule!(
+                "Primevideo",
+                Video,
+                [
+                    Suffix("amazonvideo.com"),
+                    Suffix("primevideo.com"),
+                    Suffix("pv-cdn.net"),
+                    Suffix("atv-ps.amazon.com"),
+                    Suffix("atv-ext.amazon.com"),
+                    Suffix("atv-ext-eu.amazon.com"),
+                    Suffix("atv-ext-fe.amazon.com"),
+                    Prefix("atv-ps-eu.amazon"),
+                    Prefix("atv-ps-fe.amazon")
+                ]
+            ),
+            rule!(
+                "Facebook",
+                Social,
+                [
+                    Suffix("facebook.com"),
+                    Suffix("fbcdn.net"),
+                    Suffix("facebook.net"),
+                    Prefix("fbcdn"),
+                    Prefix("fbstatic"),
+                    Prefix("fbexternal"),
+                    Suffix("fbsbx.com"),
+                    Suffix("fb.com")
+                ]
+            ),
+            rule!(
+                "Twitter",
+                Social,
+                [
+                    SubdomainSuffix("twitter.com"),
+                    SubdomainSuffix("twimg.com"),
+                    Suffix("twitter.com"),
+                    Suffix("twitter.com.edgesuite.net"),
+                    Suffix("twitter-any.s3.amazonaws.com"),
+                    Suffix("twitter-blog.s3.amazonaws.com")
+                ]
+            ),
             rule!("Linkedin", Social, [Suffix("linkedin.com"), Suffix("licdn.com"), Suffix("lnkd.in")]),
-            rule!("Instagram", Social, [SubdomainSuffix("instagram.com"), Suffix("instagram.com"), Contains("cdninstagram.com"), Prefix("igcdn")]),
-            rule!("Tiktok", Social, [Suffix("tiktok.com"), Contains("tiktokcdn"), Suffix("tiktokv.com"), Contains("tiktokv.com"), Contains("tiktok")]),
+            rule!(
+                "Instagram",
+                Social,
+                [
+                    SubdomainSuffix("instagram.com"),
+                    Suffix("instagram.com"),
+                    Contains("cdninstagram.com"),
+                    Prefix("igcdn")
+                ]
+            ),
+            rule!(
+                "Tiktok",
+                Social,
+                [
+                    Suffix("tiktok.com"),
+                    Contains("tiktokcdn"),
+                    Suffix("tiktokv.com"),
+                    Contains("tiktokv.com"),
+                    Contains("tiktok")
+                ]
+            ),
             rule!("Google", Search, [Prefix("www.google"), Prefix("google.")]),
             rule!("Bing", Search, [Contains("bing.com")]),
-            rule!("Yahoo", Search, [SubdomainSuffix("yahoo.com"), Suffix("yahoo.com"), SubdomainSuffix("yahoo.net"), SubdomainSuffix("yimg.com")]),
+            rule!(
+                "Yahoo",
+                Search,
+                [
+                    SubdomainSuffix("yahoo.com"),
+                    Suffix("yahoo.com"),
+                    SubdomainSuffix("yahoo.net"),
+                    SubdomainSuffix("yimg.com")
+                ]
+            ),
             rule!("Duckduckgo", Search, [Contains("duckduckgo.")]),
-            rule!("Whatsapp", Chat, [SubdomainSuffix("whatsapp.com"), SubdomainSuffix("whatsapp.net"), Suffix("whatsapp.com"), Suffix("whatsapp.net")]),
+            rule!(
+                "Whatsapp",
+                Chat,
+                [
+                    SubdomainSuffix("whatsapp.com"),
+                    SubdomainSuffix("whatsapp.net"),
+                    Suffix("whatsapp.com"),
+                    Suffix("whatsapp.net")
+                ]
+            ),
             rule!("Telegram", Chat, [SubdomainSuffix("telegram.org"), Prefix("telegram.org"), Suffix("telegram.org")]),
-            rule!("Snapchat", Chat, [SubdomainSuffix("snapchat.com"), Suffix("snapchat.com"), Suffix("feelinsonice.appspot.com"), Suffix("feelinsonice-hrd.appspot.com"), Suffix("feelinsonice.l.google.com"), Suffix("sc-cdn.net")]),
-            rule!("Skype", Chat, [Suffix("skypeassets.com"), SubdomainSuffix("skype.com"), SubdomainSuffix("skype.net"), Suffix("skype.com")]),
+            rule!(
+                "Snapchat",
+                Chat,
+                [
+                    SubdomainSuffix("snapchat.com"),
+                    Suffix("snapchat.com"),
+                    Suffix("feelinsonice.appspot.com"),
+                    Suffix("feelinsonice-hrd.appspot.com"),
+                    Suffix("feelinsonice.l.google.com"),
+                    Suffix("sc-cdn.net")
+                ]
+            ),
+            rule!(
+                "Skype",
+                Chat,
+                [
+                    Suffix("skypeassets.com"),
+                    SubdomainSuffix("skype.com"),
+                    SubdomainSuffix("skype.net"),
+                    Suffix("skype.com")
+                ]
+            ),
             rule!("Wechat", Chat, [Suffix("wechat.com"), Suffix("weixin.qq.com"), Suffix("wxs.qq.com")]),
-            rule!("Office365", Work, [Suffix("sharepoint.com"), Suffix("office.net"), Suffix("onenote.com"), Suffix("office365.com"), Suffix("office.com"), Prefix("teams.microsoft"), Prefix("teams.office"), Contains("lync"), Suffix("live.com")]),
-            rule!("Gsuite", Work, [Suffix("googledrive.com"), SubdomainSuffix("drive.google.com"), Suffix("drive.google.com"), Suffix("docs.google.com"), Suffix("mail.google.com"), Suffix("sheets.google.com"), Suffix("slides.google.com"), Suffix("takeout.google.com")]),
+            rule!(
+                "Office365",
+                Work,
+                [
+                    Suffix("sharepoint.com"),
+                    Suffix("office.net"),
+                    Suffix("onenote.com"),
+                    Suffix("office365.com"),
+                    Suffix("office.com"),
+                    Prefix("teams.microsoft"),
+                    Prefix("teams.office"),
+                    Contains("lync"),
+                    Suffix("live.com")
+                ]
+            ),
+            rule!(
+                "Gsuite",
+                Work,
+                [
+                    Suffix("googledrive.com"),
+                    SubdomainSuffix("drive.google.com"),
+                    Suffix("drive.google.com"),
+                    Suffix("docs.google.com"),
+                    Suffix("mail.google.com"),
+                    Suffix("sheets.google.com"),
+                    Suffix("slides.google.com"),
+                    Suffix("takeout.google.com")
+                ]
+            ),
             rule!("Dropbox", Work, [Contains("dropbox"), Contains("db.tt")]),
             // ---- extensions for catalog coverage (same methodology) ----
-            rule!("MicrosoftUpdate", Update, [Contains("windowsupdate.com"), Contains("delivery.mp.microsoft.com"), Suffix("download.microsoft.com")]),
+            rule!(
+                "MicrosoftUpdate",
+                Update,
+                [
+                    Contains("windowsupdate.com"),
+                    Contains("delivery.mp.microsoft.com"),
+                    Suffix("download.microsoft.com")
+                ]
+            ),
             rule!("BusinessVpn", Vpn, [Contains("vpn.corp-gw")]),
             rule!("VoipCall", Call, [Prefix("sip.voice-provider")]),
-            rule!("AppleInfra", Background, [Suffix("captive.apple.com"), SubdomainSuffix("ls.apple.com"), Suffix("configuration.apple.com")]),
-            rule!("GoogleInfra", Background, [Suffix("play.googleapis.com"), Suffix("gstatic.com"), Prefix("clients"), Suffix("mtalk.google.com")]),
+            rule!(
+                "AppleInfra",
+                Background,
+                [Suffix("captive.apple.com"), SubdomainSuffix("ls.apple.com"), Suffix("configuration.apple.com")]
+            ),
+            rule!(
+                "GoogleInfra",
+                Background,
+                [Suffix("play.googleapis.com"), Suffix("gstatic.com"), Prefix("clients"), Suffix("mtalk.google.com")]
+            ),
             rule!("CpeTelemetry", Background, [Contains("satcom-operator.example.net")]),
             rule!("Netease", Web, [Contains("netease.com"), Suffix("163.com")]),
             rule!("QQ", Web, [Suffix("qq.com")]),
@@ -118,10 +288,7 @@ impl Classifier {
     /// most-specific first, as in the paper's manual curation).
     pub fn classify(&self, domain: &str) -> Option<(&'static str, Category)> {
         let d = domain.to_ascii_lowercase();
-        self.rules
-            .iter()
-            .find(|r| r.patterns.iter().any(|p| p.matches(&d)))
-            .map(|r| (r.service, r.category))
+        self.rules.iter().find(|r| r.patterns.iter().any(|p| p.matches(&d))).map(|r| (r.service, r.category))
     }
 
     pub fn rules(&self) -> &[Rule] {
@@ -133,8 +300,10 @@ impl Classifier {
     /// trailing `$` suffix, leading `.` strict subdomain).
     pub fn render_rules(&self) -> String {
         use std::fmt::Write as _;
-        let mut s = String::from("Table 3: regular expressions used to identify services and categories
-");
+        let mut s = String::from(
+            "Table 3: regular expressions used to identify services and categories
+",
+        );
         let _ = writeln!(s, "{:<16} {:<16} patterns", "Service", "Category");
         for r in &self.rules {
             let pats: Vec<String> = r
@@ -157,8 +326,24 @@ impl Classifier {
 /// (paper footnote 6: "we handle the case of two-label top level
 /// domains — e.g. co.uk").
 const TWO_LABEL_TLDS: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "co.za", "org.za", "gov.za", "com.ng", "org.ng",
-    "gov.ng", "com.cd", "co.ke", "or.ke", "com.gh", "edu.gh", "com.cn", "org.cn", "appspot.com",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "co.za",
+    "org.za",
+    "gov.za",
+    "com.ng",
+    "org.ng",
+    "gov.ng",
+    "com.cd",
+    "co.ke",
+    "or.ke",
+    "com.gh",
+    "edu.gh",
+    "com.cn",
+    "org.cn",
+    "appspot.com",
     "amazonaws.com",
 ];
 

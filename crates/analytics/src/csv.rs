@@ -149,14 +149,7 @@ pub fn fig10_csv(f: &Fig10) -> String {
     let mut s = String::from("resolver,country,share_pct,median_ms\n");
     for (ri, r) in f.resolvers.iter().enumerate() {
         for (ci, c) in f.countries.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "{},{},{:.4},{:.3}",
-                esc(r.name()),
-                esc(c.name()),
-                f.share[ri][ci],
-                f.median_ms[ri]
-            );
+            let _ = writeln!(s, "{},{},{:.4},{:.3}", esc(r.name()), esc(c.name()), f.share[ri][ci], f.median_ms[ri]);
         }
     }
     s

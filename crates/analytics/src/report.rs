@@ -100,9 +100,8 @@ impl Fig4 {
     }
 
     pub fn peak_hour_utc(&self, c: Country) -> Option<u32> {
-        self.profile(c).map(|p| {
-            p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(h, _)| h as u32).unwrap()
-        })
+        self.profile(c)
+            .map(|p| p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(h, _)| h as u32).unwrap())
     }
 
     pub fn render(&self) -> String {
@@ -255,7 +254,15 @@ impl Fig8a {
         let _ = writeln!(
             s,
             "{:<14} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>12}",
-            "Country", "night p25", "night med", "night p75", "night P[>2s]", "peak p25", "peak med", "peak p75", "peak P[>2s]"
+            "Country",
+            "night p25",
+            "night med",
+            "night p75",
+            "night P[>2s]",
+            "peak p25",
+            "peak med",
+            "peak p75",
+            "peak P[>2s]"
         );
         for (c, night, peak) in &self.rows {
             let _ = writeln!(
@@ -286,7 +293,11 @@ pub struct Fig8b {
 impl Fig8b {
     pub fn render(&self) -> String {
         let mut s = String::from("Figure 8b: median satellite RTT per beam vs normalised utilization (peak time)\n");
-        let _ = writeln!(s, "{:<10} {:<14} {:>12} {:>12} {:>9}", "Beam", "Country", "Util (norm)", "Median RTT s", "Samples");
+        let _ = writeln!(
+            s,
+            "{:<10} {:<14} {:>12} {:>12} {:>9}",
+            "Beam", "Country", "Util (norm)", "Median RTT s", "Samples"
+        );
         for (b, c, u, rtt, n) in &self.rows {
             let _ = writeln!(s, "{:<10} {:<14} {:>12.2} {:>12.2} {:>9}", b, c.name(), u, rtt, n);
         }
@@ -381,15 +392,11 @@ pub struct TableCdnSelection {
 
 impl TableCdnSelection {
     pub fn mean_rtt(&self, domain: &str, c: Country, r: satwatch_internet::ResolverId) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|(d, cc, rr, _, _)| d == domain && *cc == c && *rr == r)
-            .map(|(_, _, _, m, _)| *m)
+        self.rows.iter().find(|(d, cc, rr, _, _)| d == domain && *cc == c && *rr == r).map(|(_, _, _, m, _)| *m)
     }
 
     pub fn render(&self) -> String {
-        let mut s =
-            String::from("Table 2/4/5: ground RTT per domain and DNS resolver (mean ms; '-' = unseen)\n");
+        let mut s = String::from("Table 2/4/5: ground RTT per domain and DNS resolver (mean ms; '-' = unseen)\n");
         let _ = writeln!(s, "{:<22} {:<14} {:<12} {:>9} {:>7}", "Domain", "Country", "Resolver", "RTT ms", "Flows");
         for (d, c, r, rtt, n) in &self.rows {
             let _ = writeln!(s, "{:<22} {:<14} {:<12} {:>9.1} {:>7}", d, c.name(), r.name(), rtt, n);

@@ -162,8 +162,7 @@ mod tests {
 
     #[test]
     fn truncates_to_n() {
-        let flows: Vec<FlowRecord> =
-            (0..20).map(|i| flow(1, &format!("www.site-{i}.test"), 100)).collect();
+        let flows: Vec<FlowRecord> = (0..20).map(|i| flow(1, &format!("www.site-{i}.test"), 100)).collect();
         let top = top_domains(&flows, &Classifier::standard(), 3);
         assert_eq!(top.by_volume.len(), 3);
         assert_eq!(top.by_popularity.len(), 3);

@@ -35,9 +35,7 @@ fn fig3_proto_by_country(c: &mut Criterion) {
     let ds = standard_dataset();
     static ONCE: Once = Once::new();
     print_once("Figure 3", &ONCE, || experiments::fig3(ds).render());
-    c.bench_function("fig3_proto_by_country", |b| {
-        b.iter(|| black_box(agg::fig3(&ds.flows, &ds.enrichment)))
-    });
+    c.bench_function("fig3_proto_by_country", |b| b.iter(|| black_box(agg::fig3(&ds.flows, &ds.enrichment))));
 }
 
 fn fig4_daily_trends(c: &mut Criterion) {
@@ -63,9 +61,7 @@ fn fig6_service_popularity(c: &mut Criterion) {
     let classifier = Classifier::standard();
     let days = agg::customer_days(&ds.flows, &classifier);
     c.bench_function("fig6_service_popularity", |b| {
-        b.iter(|| {
-            black_box(agg::fig6(&days, &ds.enrichment, &experiments::FIG6_SERVICES, &Country::TOP6))
-        })
+        b.iter(|| black_box(agg::fig6(&days, &ds.enrichment, &experiments::FIG6_SERVICES, &Country::TOP6)))
     });
 }
 
@@ -84,9 +80,7 @@ fn fig8a_sat_rtt(c: &mut Criterion) {
     let ds = standard_dataset();
     static ONCE: Once = Once::new();
     print_once("Figure 8a", &ONCE, || experiments::fig8a(ds).render());
-    c.bench_function("fig8a_sat_rtt", |b| {
-        b.iter(|| black_box(agg::fig8a(&ds.flows, &ds.enrichment, &Country::TOP6)))
-    });
+    c.bench_function("fig8a_sat_rtt", |b| b.iter(|| black_box(agg::fig8a(&ds.flows, &ds.enrichment, &Country::TOP6))));
 }
 
 fn fig8b_beam_rtt(c: &mut Criterion) {
@@ -100,18 +94,14 @@ fn fig9_ground_rtt(c: &mut Criterion) {
     let ds = standard_dataset();
     static ONCE: Once = Once::new();
     print_once("Figure 9", &ONCE, || experiments::fig9(ds).render());
-    c.bench_function("fig9_ground_rtt", |b| {
-        b.iter(|| black_box(agg::fig9(&ds.flows, &ds.enrichment, &Country::TOP6)))
-    });
+    c.bench_function("fig9_ground_rtt", |b| b.iter(|| black_box(agg::fig9(&ds.flows, &ds.enrichment, &Country::TOP6))));
 }
 
 fn fig10_dns(c: &mut Criterion) {
     let ds = standard_dataset();
     static ONCE: Once = Once::new();
     print_once("Figure 10", &ONCE, || experiments::fig10(ds).render());
-    c.bench_function("fig10_dns", |b| {
-        b.iter(|| black_box(agg::fig10(&ds.dns, &ds.enrichment, &Country::TOP6)))
-    });
+    c.bench_function("fig10_dns", |b| b.iter(|| black_box(agg::fig10(&ds.dns, &ds.enrichment, &Country::TOP6))));
 }
 
 fn table2_cdn_selection(c: &mut Criterion) {
@@ -121,23 +111,25 @@ fn table2_cdn_selection(c: &mut Criterion) {
         // print the Table-2-style subset: popular SLDs, top-6 countries
         let t = experiments::table_cdn(ds, 10);
         let mut s = String::new();
-        let interesting =
-            ["apple.com", "whatsapp.net", "googleapis.com", "googlevideo.com", "nflxvideo.net", "qq.com", "tiktokcdn.com", "fbcdn.net"];
+        let interesting = [
+            "apple.com",
+            "whatsapp.net",
+            "googleapis.com",
+            "googlevideo.com",
+            "nflxvideo.net",
+            "qq.com",
+            "tiktokcdn.com",
+            "fbcdn.net",
+        ];
         for (d, country, r, rtt, n) in &t.rows {
             if interesting.contains(&d.as_str()) {
-                s.push_str(&format!(
-                    "{d:<18} {:<13} {:<12} {rtt:>7.1} ms  (n={n})\n",
-                    country.name(),
-                    r.name()
-                ));
+                s.push_str(&format!("{d:<18} {:<13} {:<12} {rtt:>7.1} ms  (n={n})\n", country.name(), r.name()));
             }
         }
         s
     });
     c.bench_function("table2_cdn_selection", |b| {
-        b.iter(|| {
-            black_box(agg::table_cdn_selection(&ds.flows, &ds.dns, &ds.enrichment, Country::TOP6.as_ref(), 10))
-        })
+        b.iter(|| black_box(agg::table_cdn_selection(&ds.flows, &ds.dns, &ds.enrichment, Country::TOP6.as_ref(), 10)))
     });
 }
 

@@ -1,0 +1,124 @@
+//! Parallel-pipeline benchmarks: the deterministic multi-core stages
+//! (intent generation, sharded probe, parallel aggregations) timed at
+//! 1/2/4/8 workers, plus the SipHash-vs-FxHash micro-comparison that
+//! motivated the in-tree hasher.
+//!
+//! Every worker count produces the identical dataset (asserted in the
+//! setup), so these benches measure pure wall-time scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use satwatch_analytics::agg;
+use satwatch_bench::{bench_config, standard_dataset};
+use satwatch_scenario::run;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// End-to-end scenario wall time (generation + event loop + probe) at
+/// each worker count. Threads drive intent generation; shards drive
+/// the probe. Throughput is packets observed per second of wall time.
+fn scenario_scaling(c: &mut Criterion) {
+    // Smaller than the shared dataset: each iteration re-runs the
+    // whole pipeline.
+    let base = bench_config()
+        .with_customers(std::env::var("SATWATCH_BENCH_PAR_CUSTOMERS").ok().and_then(|v| v.parse().ok()).unwrap_or(150));
+    let packets = run(base).packets;
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(packets));
+    for &w in WORKER_COUNTS {
+        let cfg = base.with_threads(w).with_probe_shards(w);
+        // determinism cross-check before timing
+        assert_eq!(run(cfg).packets, packets, "worker count changed the dataset");
+        group.bench_function(&format!("fig2_workload_workers_{w}"), |b| b.iter(|| black_box(run(cfg).packets)));
+    }
+    group.finish();
+}
+
+/// The parallel aggregations over the shared standard dataset.
+fn agg_scaling(c: &mut Criterion) {
+    let ds = standard_dataset();
+    let mut group = c.benchmark_group("agg");
+    group.throughput(Throughput::Elements(ds.flows.len() as u64));
+    for &w in WORKER_COUNTS {
+        group.bench_function(&format!("table1_workers_{w}"), |b| b.iter(|| black_box(agg::table1_par(&ds.flows, w))));
+        group.bench_function(&format!("fig2_workers_{w}"), |b| {
+            b.iter(|| black_box(agg::fig2_par(&ds.flows, &ds.enrichment, w)))
+        });
+        group.bench_function(&format!("customer_days_workers_{w}"), |b| {
+            let classifier = satwatch_analytics::Classifier::standard();
+            b.iter(|| black_box(agg::customer_days_par(&ds.flows, &classifier, w)))
+        });
+    }
+    group.finish();
+}
+
+/// SipHash (std default) vs the in-tree FxHash on the probe's hottest
+/// key shapes: the 5-tuple-ish NAT key and a full flow key insert/find
+/// cycle. This is the delta that justified swapping the hasher in the
+/// flow table, NAT, and aggregation maps.
+fn hasher_comparison(c: &mut Criterion) {
+    let keys: Vec<(Ipv4Addr, u16)> =
+        (0..4_096u32).map(|i| (Ipv4Addr::from(0x0a00_0000 | i), (i % 60_000) as u16 + 1_024)).collect();
+    let mut group = c.benchmark_group("hasher");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("siphash_nat_key_insert_get", |b| {
+        b.iter(|| {
+            let mut m: HashMap<(Ipv4Addr, u16), u64> = HashMap::with_capacity(keys.len());
+            for (i, k) in keys.iter().enumerate() {
+                m.insert(*k, i as u64);
+            }
+            let mut acc = 0u64;
+            for k in &keys {
+                acc = acc.wrapping_add(*m.get(k).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("fxhash_nat_key_insert_get", |b| {
+        b.iter(|| {
+            let mut m = satwatch_simcore::fx_map_with_capacity::<(Ipv4Addr, u16), u64>(keys.len());
+            for (i, k) in keys.iter().enumerate() {
+                m.insert(*k, i as u64);
+            }
+            let mut acc = 0u64;
+            for k in &keys {
+                acc = acc.wrapping_add(*m.get(k).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// `ordered_par_map` overhead: a trivially small map should not pay
+/// much for the scoped pool, and a compute-bound map should scale.
+fn par_map_overhead(c: &mut Criterion) {
+    let items: Vec<u64> = (0..64).collect();
+    let mut group = c.benchmark_group("par_map");
+    for &w in WORKER_COUNTS {
+        group.bench_function(&format!("spin_64_items_workers_{w}"), |b| {
+            b.iter(|| {
+                let out = satwatch_simcore::ordered_par_map(w, &items, |_, &x| {
+                    // ~10 µs of integer work per item
+                    let mut acc = x;
+                    for i in 0..10_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    acc
+                });
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = parallel;
+    config = Criterion::default();
+    targets = scenario_scaling, agg_scaling, hasher_comparison, par_map_overhead
+}
+criterion_main!(parallel);

@@ -20,10 +20,7 @@ use std::sync::OnceLock;
 
 /// Scale knobs (env-overridable so CI can shrink them).
 pub fn bench_config() -> ScenarioConfig {
-    let customers = std::env::var("SATWATCH_BENCH_CUSTOMERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(500);
+    let customers = std::env::var("SATWATCH_BENCH_CUSTOMERS").ok().and_then(|v| v.parse().ok()).unwrap_or(500);
     let days = std::env::var("SATWATCH_BENCH_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
     ScenarioConfig::tiny().with_customers(customers).with_days(days).with_seed(0x1107_2022)
 }
@@ -33,10 +30,7 @@ pub fn standard_dataset() -> &'static Dataset {
     static DS: OnceLock<Dataset> = OnceLock::new();
     DS.get_or_init(|| {
         let cfg = bench_config();
-        eprintln!(
-            "[satwatch-bench] simulating standard dataset: {} customers × {} day(s) …",
-            cfg.customers, cfg.days
-        );
+        eprintln!("[satwatch-bench] simulating standard dataset: {} customers × {} day(s) …", cfg.customers, cfg.days);
         let t0 = std::time::Instant::now();
         let ds = run(cfg);
         eprintln!(

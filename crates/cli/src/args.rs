@@ -77,9 +77,7 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| ArgError::BadValue { key: key.to_string(), value: v.clone() })
-            }
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue { key: key.to_string(), value: v.clone() }),
         }
     }
 }

@@ -29,12 +29,20 @@ commands:
                 --n N (default 20)
   paper-check run every paper-vs-measured shape check (EXPERIMENTS.md)
   rules       print the Table 3 service-classification rule set
+  bench       time the pipeline at 1/2/4/8 workers, write JSON results
+                --out FILE (default: BENCH_parallel.json)
   help        show this message
 
 scenario options (all commands):
   --customers N          number of CPEs (default 300)
   --days N               simulated days (default 1)
   --seed N               root seed (default 42)
+  --threads N            worker threads for parallel stages
+                         (default 1 = serial, 0 = one per core;
+                          output is bit-identical at any value)
+  --shards N             probe shards for the span-port stream
+                         (default 1 = inline probe, 0 = one per core;
+                          output is bit-identical at any value)
   --no-pep               disable the split-TCP PEP (A3)
   --african-gs           add an African ground station (A1)
   --force-operator-dns   force the operator resolver (A2)";
@@ -52,6 +60,7 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
         "ablations" => ablations(args),
         "topdomains" => topdomains(args),
         "paper-check" => paper_check(args),
+        "bench" => bench(args),
         "rules" => {
             print!("{}", satwatch_analytics::Classifier::standard().render_rules());
             Ok(())
@@ -64,7 +73,9 @@ fn scenario_from(args: &Args) -> Result<ScenarioConfig, Box<dyn Error>> {
     let mut cfg = ScenarioConfig::tiny()
         .with_customers(args.get_parsed("customers", 300u32)?)
         .with_days(args.get_parsed("days", 1u64)?)
-        .with_seed(args.get_parsed("seed", 42u64)?);
+        .with_seed(args.get_parsed("seed", 42u64)?)
+        .with_threads(args.get_parsed("threads", 1usize)?)
+        .with_probe_shards(args.get_parsed("shards", 1usize)?);
     if args.flag("no-pep") {
         cfg = cfg.without_pep();
     }
@@ -340,6 +351,62 @@ fn paper_check(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Time the end-to-end pipeline (scenario generation + sharded probe +
+/// the parallel aggregations) at 1/2/4/8 workers and write a
+/// machine-readable summary. The JSON is hand-rolled — the offline
+/// crate set has no serde — but the schema is stable:
+/// `{workload, runs: [{workers, wall_ms, packets, packets_per_sec, flows}]}`.
+fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
+    let base = scenario_from(args)?;
+    let out_path = args.get("out").unwrap_or("BENCH_parallel.json");
+    let worker_counts: Vec<usize> =
+        [1usize, 2, 4, 8].iter().copied().filter(|&w| w <= satwatch_simcore::available_workers().max(1) * 2).collect();
+    let workload = format!("{} customers x {} day(s), seed {}", base.customers, base.days, base.seed);
+    eprintln!("benchmarking {workload} at {worker_counts:?} workers …");
+    let mut runs = Vec::new();
+    let mut reference: Option<(usize, u64)> = None;
+    for &w in &worker_counts {
+        let cfg = base.with_threads(w).with_probe_shards(w);
+        let t0 = std::time::Instant::now();
+        let ds = run(cfg);
+        let scenario_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let t1r = satwatch_analytics::agg::table1_par(&ds.flows, w);
+        let f2r = satwatch_analytics::agg::fig2_par(&ds.flows, &ds.enrichment, w);
+        let agg_s = t1.elapsed().as_secs_f64();
+        std::hint::black_box((&t1r, &f2r));
+        let wall_s = scenario_s + agg_s;
+        // cross-check: every worker count must see the identical dataset
+        match reference {
+            None => reference = Some((ds.flows.len(), ds.packets)),
+            Some(r) => assert_eq!(r, (ds.flows.len(), ds.packets), "worker count changed the dataset"),
+        }
+        let pps = ds.packets as f64 / scenario_s;
+        eprintln!("  workers={w}: {:.2}s scenario + {:.3}s analytics, {:.0} packets/s", scenario_s, agg_s, pps);
+        runs.push(format!(
+            concat!(
+                "    {{\"workers\": {}, \"wall_ms\": {:.1}, \"scenario_ms\": {:.1}, ",
+                "\"analytics_ms\": {:.1}, \"packets\": {}, \"packets_per_sec\": {:.0}, \"flows\": {}}}"
+            ),
+            w,
+            wall_s * 1e3,
+            scenario_s * 1e3,
+            agg_s * 1e3,
+            ds.packets,
+            pps,
+            ds.flows.len()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        satwatch_simcore::available_workers(),
+        runs.join(",\n")
+    );
+    fs::write(out_path, &json)?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}
+
 fn ablations(args: &Args) -> Result<(), Box<dyn Error>> {
     let cfg = scenario_from(args)?;
     eprintln!("running 4 scenarios (baseline + A1 + A2 + A3) …");
@@ -430,8 +497,17 @@ mod tests {
         let dir_s = dir.to_str().unwrap().to_string();
         let pcap = dir.join("span.pcap");
         let a = parse(&[
-            "simulate", "--customers", "15", "--seed", "4", "--out", &dir_s,
-            "--pcap", pcap.to_str().unwrap(), "--snaplen", "128",
+            "simulate",
+            "--customers",
+            "15",
+            "--seed",
+            "4",
+            "--out",
+            &dir_s,
+            "--pcap",
+            pcap.to_str().unwrap(),
+            "--snaplen",
+            "128",
         ]);
         dispatch(&a).unwrap();
         // the pcap is a valid capture

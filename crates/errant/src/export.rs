@@ -11,7 +11,8 @@ use std::fmt::Write as _;
 
 /// Render profiles to the export format.
 pub fn export(profiles: &[EmulationProfile]) -> String {
-    let mut s = String::from("# satwatch ERRANT-style emulation profiles\n# fields: rtt in ms (lognormal), rates in Mb/s\n");
+    let mut s =
+        String::from("# satwatch ERRANT-style emulation profiles\n# fields: rtt in ms (lognormal), rates in Mb/s\n");
     for p in profiles {
         let _ = writeln!(s, "[profile {}]", p.name);
         if let Some(c) = p.country {

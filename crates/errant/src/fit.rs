@@ -36,11 +36,7 @@ pub fn fit_lognormal(samples: &[f64]) -> Option<LogNormal> {
 const MIN_RATE_FLOW_BYTES: u64 = 1_000_000;
 
 /// Fit one profile per (country, period) from the dataset.
-pub fn fit_profiles(
-    flows: &[FlowRecord],
-    enr: &Enrichment,
-    countries: &[Country],
-) -> Vec<EmulationProfile> {
+pub fn fit_profiles(flows: &[FlowRecord], enr: &Enrichment, countries: &[Country]) -> Vec<EmulationProfile> {
     let mut out = Vec::new();
     for &country in countries {
         for period in [Period::Night, Period::Peak] {

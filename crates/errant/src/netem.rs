@@ -48,7 +48,13 @@ pub fn script(profile: &EmulationProfile, down_dev: &str, up_dev: &str) -> Strin
     let p = params(profile);
     let mut s = String::new();
     let _ = writeln!(s, "#!/bin/sh");
-    let _ = writeln!(s, "# profile: {} (median RTT {:.0} ms, p95 {:.0} ms)", profile.name, profile.median_rtt_ms(), profile.p95_rtt_ms());
+    let _ = writeln!(
+        s,
+        "# profile: {} (median RTT {:.0} ms, p95 {:.0} ms)",
+        profile.name,
+        profile.median_rtt_ms(),
+        profile.p95_rtt_ms()
+    );
     let _ = writeln!(s, "set -e");
     for dev in [down_dev, up_dev] {
         let _ = writeln!(s, "tc qdisc del dev {dev} root 2>/dev/null || true");

@@ -96,7 +96,18 @@ impl CdnCatalog {
                 id: well_known::GLOBAL_PEERING,
                 name: "global-peering",
                 policy: SelectionPolicy::DnsBased,
-                footprint: vec![PeeringCdn, EuropeSouth, EuropeWest, EuropeFar, UsEast, UsWest, AfricaWest, AfricaSouth, AfricaEast, MiddleEast],
+                footprint: vec![
+                    PeeringCdn,
+                    EuropeSouth,
+                    EuropeWest,
+                    EuropeFar,
+                    UsEast,
+                    UsWest,
+                    AfricaWest,
+                    AfricaSouth,
+                    AfricaEast,
+                    MiddleEast,
+                ],
             },
             CdnOperator {
                 id: well_known::GLOBAL_ANYCAST,
@@ -185,9 +196,7 @@ mod tests {
         // a Nigerian hint pulls the client to the Lagos node — which is
         // *farther* from the ground station (the §6.4 pathology)
         assert_eq!(g.select_node(Region::AfricaWest), Region::AfricaWest);
-        assert!(
-            Region::AfricaWest.median_ground_rtt_ms() > Region::PeeringCdn.median_ground_rtt_ms()
-        );
+        assert!(Region::AfricaWest.median_ground_rtt_ms() > Region::PeeringCdn.median_ground_rtt_ms());
     }
 
     #[test]

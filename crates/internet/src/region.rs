@@ -118,9 +118,7 @@ impl Region {
             .min_by(|a, b| {
                 let (la, lo) = a.coordinates();
                 let (lb, lob) = b.coordinates();
-                haversine_km(lat, lon, la, lo)
-                    .partial_cmp(&haversine_km(lat, lon, lb, lob))
-                    .unwrap()
+                haversine_km(lat, lon, la, lo).partial_cmp(&haversine_km(lat, lon, lb, lob)).unwrap()
             })
             .unwrap()
     }
@@ -133,17 +131,11 @@ impl Region {
     }
 
     pub fn is_african(self) -> bool {
-        matches!(
-            self,
-            Region::AfricaWest | Region::AfricaCentral | Region::AfricaSouth | Region::AfricaEast
-        )
+        matches!(self, Region::AfricaWest | Region::AfricaCentral | Region::AfricaSouth | Region::AfricaEast)
     }
 
     pub fn is_european(self) -> bool {
-        matches!(
-            self,
-            Region::PeeringCdn | Region::EuropeSouth | Region::EuropeWest | Region::EuropeFar
-        )
+        matches!(self, Region::PeeringCdn | Region::EuropeSouth | Region::EuropeWest | Region::EuropeFar)
     }
 }
 
@@ -174,8 +166,7 @@ mod tests {
     #[test]
     fn sampled_rtt_median_converges() {
         let mut rng = Rng::new(1);
-        let mut v: Vec<f64> =
-            (0..20_000).map(|_| Region::UsEast.sample_ground_rtt(&mut rng).as_millis_f64()).collect();
+        let mut v: Vec<f64> = (0..20_000).map(|_| Region::UsEast.sample_ground_rtt(&mut rng).as_millis_f64()).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = v[v.len() / 2];
         assert!((med / 95.0 - 1.0).abs() < 0.03, "{med}");

@@ -149,11 +149,9 @@ impl ResolverId {
                 ClientHintPolicy::ResolverSite
             }
             // No ECS: CDNs see only the resolver's own location.
-            ResolverId::Nigerian
-            | ResolverId::Baidu
-            | ResolverId::Dns114
-            | ResolverId::Aliyun
-            | ResolverId::Yandex => ClientHintPolicy::ResolverSite,
+            ResolverId::Nigerian | ResolverId::Baidu | ResolverId::Dns114 | ResolverId::Aliyun | ResolverId::Yandex => {
+                ClientHintPolicy::ResolverSite
+            }
         }
     }
 
@@ -212,9 +210,8 @@ mod tests {
     #[test]
     fn response_time_median_matches_calibration() {
         let mut rng = Rng::new(1);
-        let mut v: Vec<f64> = (0..20_000)
-            .map(|_| ResolverId::Nigerian.sample_response_time(&mut rng).as_millis_f64())
-            .collect();
+        let mut v: Vec<f64> =
+            (0..20_000).map(|_| ResolverId::Nigerian.sample_response_time(&mut rng).as_millis_f64()).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = v[v.len() / 2];
         assert!((med / 120.0 - 1.0).abs() < 0.05, "{med}");

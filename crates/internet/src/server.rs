@@ -67,9 +67,8 @@ mod tests {
     #[test]
     fn domain_addresses_stable_and_bounded() {
         let mut rng = Rng::new(1);
-        let addrs: std::collections::HashSet<Ipv4Addr> = (0..100)
-            .map(|_| server_address_for_domain(Region::EuropeWest, "static.example.com", &mut rng))
-            .collect();
+        let addrs: std::collections::HashSet<Ipv4Addr> =
+            (0..100).map(|_| server_address_for_domain(Region::EuropeWest, "static.example.com", &mut rng)).collect();
         assert!(addrs.len() <= 4, "round-robin set of at most 4: {addrs:?}");
         for a in &addrs {
             assert_eq!(region_of_address(*a), Some(Region::EuropeWest));

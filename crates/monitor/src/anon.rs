@@ -130,11 +130,7 @@ mod tests {
         for (x, y) in pairs {
             let k = common_prefix_len(x, y);
             let (ax, ay) = (pan.anonymize(x), pan.anonymize(y));
-            assert_eq!(
-                common_prefix_len(ax, ay),
-                k,
-                "{x}/{y} share {k} bits; anonymized {ax}/{ay} must too"
-            );
+            assert_eq!(common_prefix_len(ax, ay), k, "{x}/{y} share {k} bits; anonymized {ax}/{ay} must too");
         }
     }
 

@@ -199,13 +199,8 @@ mod tests {
     #[test]
     fn rtp_needs_two_consecutive_packets() {
         let mut d = Dpi::new(false, 40_000);
-        let h = satwatch_netstack::rtp::RtpHeader {
-            payload_type: 111,
-            sequence: 1,
-            timestamp: 0,
-            ssrc: 1,
-            marker: false,
-        };
+        let h =
+            satwatch_netstack::rtp::RtpHeader { payload_type: 111, sequence: 1, timestamp: 0, ssrc: 1, marker: false };
         d.inspect(&h.encode(160, 0), true);
         assert_eq!(d.verdict(), L7Protocol::OtherUdp, "one packet is not enough");
         d.inspect(&h.encode(160, 0), true);
@@ -215,13 +210,8 @@ mod tests {
     #[test]
     fn rtp_streak_resets_on_mismatch() {
         let mut d = Dpi::new(false, 40_000);
-        let h = satwatch_netstack::rtp::RtpHeader {
-            payload_type: 0,
-            sequence: 1,
-            timestamp: 0,
-            ssrc: 1,
-            marker: false,
-        };
+        let h =
+            satwatch_netstack::rtp::RtpHeader { payload_type: 0, sequence: 1, timestamp: 0, ssrc: 1, marker: false };
         d.inspect(&h.encode(160, 0), true);
         d.inspect(&[0x01, 0x02, 0x03], true); // garbage breaks the streak
         d.inspect(&h.encode(160, 0), true);

@@ -11,8 +11,7 @@ use crate::record::{EarlyPacket, FlowRecord, RttSummary};
 use crate::rtt::{GroundRtt, SatRtt};
 use satwatch_netstack::ip::proto;
 use satwatch_netstack::{FiveTuple, Packet, Subnet, TcpHeader, Transport};
-use satwatch_simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use satwatch_simcore::{fx_map_with_capacity, FxHashMap, SimDuration, SimTime};
 
 /// Flow-table configuration.
 #[derive(Clone, Copy, Debug)]
@@ -30,11 +29,7 @@ pub struct FlowTableConfig {
 
 impl FlowTableConfig {
     pub fn new(customer_subnet: Subnet) -> FlowTableConfig {
-        FlowTableConfig {
-            customer_subnet,
-            idle_timeout: SimDuration::from_secs(120),
-            early_packets: 10,
-        }
+        FlowTableConfig { customer_subnet, idle_timeout: SimDuration::from_secs(120), early_packets: 10 }
     }
 }
 
@@ -56,6 +51,11 @@ pub enum Direction {
 #[derive(Debug, Default)]
 struct InspectBuffer {
     buf: Vec<u8>,
+    /// Consumed prefix of `buf`. Advancing a cursor instead of
+    /// `drain(..consumed)` avoids a memmove of the pending tail on
+    /// every delivered record; the buffer compacts only when the dead
+    /// prefix grows past [`INSPECT_COMPACT_AT`].
+    start: usize,
     mode: InspectMode,
 }
 
@@ -74,7 +74,15 @@ enum InspectMode {
 /// Bound on the buffered head while waiting for a record to complete.
 const INSPECT_BUF_CAP: usize = 16_384;
 
+/// Compact the buffer once this much dead prefix accumulates.
+const INSPECT_COMPACT_AT: usize = 4_096;
+
 impl InspectBuffer {
+    /// Pending (not yet consumed) bytes.
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
     /// Feed one in-order chunk; invokes `sink` for every complete unit.
     fn feed(&mut self, chunk: &[u8], mut sink: impl FnMut(&[u8])) {
         use satwatch_netstack::ip::ParseError;
@@ -85,6 +93,8 @@ impl InspectBuffer {
                 self.buf.extend_from_slice(chunk);
                 if self.mode == InspectMode::Unknown {
                     // sniff: TLS record = content type 20..=23, major 3
+                    // (start == 0 here — nothing is consumed before the
+                    // mode is decided)
                     if self.buf.len() >= 2 {
                         if (20..=23).contains(&self.buf[0]) && self.buf[1] == 3 {
                             self.mode = InspectMode::Records;
@@ -99,30 +109,36 @@ impl InspectBuffer {
                     }
                 }
                 // Records mode: deliver complete records
-                let mut consumed = 0;
                 loop {
-                    match satwatch_netstack::tls::parse_record(&self.buf[consumed..]) {
+                    match satwatch_netstack::tls::parse_record(self.pending()) {
                         Ok((_, used)) => {
-                            sink(&self.buf[consumed..consumed + used]);
-                            consumed += used;
+                            sink(&self.buf[self.start..self.start + used]);
+                            self.start += used;
                         }
                         Err(ParseError::Truncated { .. }) => break,
                         Err(_) => {
                             // stream stopped looking like TLS (e.g.
                             // encrypted app data with a mangled header):
                             // flush and fall back to raw
-                            sink(&self.buf[consumed..]);
-                            consumed = self.buf.len();
+                            sink(self.pending());
+                            self.start = self.buf.len();
                             self.mode = InspectMode::Raw;
                             break;
                         }
                     }
                 }
-                self.buf.drain(..consumed);
-                if self.buf.len() > INSPECT_BUF_CAP {
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                } else if self.start > INSPECT_COMPACT_AT {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                if self.pending().len() > INSPECT_BUF_CAP {
                     // a record that never completes cannot pin memory
-                    let pending = std::mem::take(&mut self.buf);
-                    sink(&pending);
+                    let buf = std::mem::take(&mut self.buf);
+                    sink(&buf[self.start..]);
+                    self.start = 0;
                     self.mode = InspectMode::Done;
                 }
             }
@@ -239,15 +255,21 @@ impl FlowState {
 #[derive(Debug)]
 pub struct FlowTable {
     cfg: FlowTableConfig,
-    flows: HashMap<FiveTuple, FlowState>,
+    /// Fx-hashed: five-tuples are simulator-generated, not adversarial,
+    /// and this map is touched once per packet.
+    flows: FxHashMap<FiveTuple, FlowState>,
     finished: Vec<FlowRecord>,
     /// Count of transit packets ignored (neither endpoint a customer).
     pub transit_packets: u64,
 }
 
+/// Typical concurrent-flow population per probe (or shard): enough to
+/// avoid rehashing during warm-up without wasting memory when idle.
+const FLOW_TABLE_PRESIZE: usize = 1_024;
+
 impl FlowTable {
     pub fn new(cfg: FlowTableConfig) -> FlowTable {
-        FlowTable { cfg, flows: HashMap::new(), finished: Vec::new(), transit_packets: 0 }
+        FlowTable { cfg, flows: fx_map_with_capacity(FLOW_TABLE_PRESIZE), finished: Vec::new(), transit_packets: 0 }
     }
 
     /// Direction of a packet relative to the customer subnet, or
@@ -391,14 +413,11 @@ impl FlowTable {
     /// Evict flows idle at time `t`. Call periodically (the probe does).
     pub fn sweep(&mut self, t: SimTime) {
         let timeout = self.cfg.idle_timeout;
-        let mut expired: Vec<FiveTuple> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| t - f.last > timeout)
-            .map(|(k, _)| *k)
-            .collect();
-        // deterministic eviction order (HashMap iteration is not)
-        expired.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port));
+        let mut expired: Vec<FiveTuple> =
+            self.flows.iter().filter(|(_, f)| t - f.last > timeout).map(|(k, _)| *k).collect();
+        // deterministic eviction order (HashMap iteration is not); the
+        // protocol makes the key total over distinct five-tuples
+        expired.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port, k.protocol));
         for k in expired {
             let flow = self.flows.remove(&k).expect("expired flow present");
             self.finished.push(flow.into_record());
@@ -409,7 +428,7 @@ impl FlowTable {
     pub fn flush(&mut self) -> Vec<FlowRecord> {
         let mut keys: Vec<FiveTuple> = self.flows.keys().copied().collect();
         // deterministic output order: by first-seen time then key
-        keys.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port));
+        keys.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port, k.protocol));
         for k in keys {
             let flow = self.flows.remove(&k).expect("flow present");
             self.finished.push(flow.into_record());
@@ -483,9 +502,15 @@ mod tests {
         let mut reply = Vec::new();
         reply.extend_from_slice(&tls::client_key_exchange(0));
         reply.extend_from_slice(&tls::change_cipher_spec());
-        table.process(t(625), &tcp_pkt(true, TcpFlags::PSH_ACK, 101 + ch.len() as u32, 901 + flight.len() as u32, &reply));
+        table.process(
+            t(625),
+            &tcp_pkt(true, TcpFlags::PSH_ACK, 101 + ch.len() as u32, 901 + flight.len() as u32, &reply),
+        );
         // app data + close
-        table.process(t(700), &tcp_pkt(false, TcpFlags::PSH_ACK, 901 + flight.len() as u32, 0, &tls::application_data(5000, 7)));
+        table.process(
+            t(700),
+            &tcp_pkt(false, TcpFlags::PSH_ACK, 901 + flight.len() as u32, 0, &tls::application_data(5000, 7)),
+        );
         table.process(t(800), &tcp_pkt(true, TcpFlags::FIN_ACK, 9000, 0, &[]));
         table.process(t(812), &tcp_pkt(false, TcpFlags::FIN_ACK, 99_000, 9001, &[]));
     }
@@ -528,8 +553,13 @@ mod tests {
     #[test]
     fn udp_flow_times_out() {
         let mut table = FlowTable::new(cfg());
-        let q = Packet::udp(client(), Ipv4Addr::new(8, 8, 8, 8), 40_000, 53,
-            satwatch_netstack::dns::DnsMessage::query(1, "x.com", satwatch_netstack::dns::RecordType::A).encode());
+        let q = Packet::udp(
+            client(),
+            Ipv4Addr::new(8, 8, 8, 8),
+            40_000,
+            53,
+            satwatch_netstack::dns::DnsMessage::query(1, "x.com", satwatch_netstack::dns::RecordType::A).encode(),
+        );
         table.process(t(0), &q);
         assert_eq!(table.active_flows(), 1);
         table.sweep(t(1_000));

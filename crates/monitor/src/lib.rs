@@ -21,6 +21,9 @@
 //! * [`record`] — Tstat-like flow/DNS records with TSV round-trip.
 //! * [`probe`] — the composed probe: one `observe()` per packet,
 //!   `finish()` yields anonymized records.
+//! * [`sharded`] — the probe partitioned across worker threads by host
+//!   pair, with globally driven sweeps and a deterministic merge: any
+//!   shard count yields byte-identical output.
 //!
 //! ```
 //! use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
@@ -48,11 +51,13 @@ pub mod flowtable;
 pub mod pcap;
 pub mod probe;
 pub mod reassembly;
-pub mod rollup;
 pub mod record;
+pub mod rollup;
 pub mod rtt;
+pub mod sharded;
 
 pub use anon::CryptoPan;
 pub use flowtable::{Direction, FlowTable, FlowTableConfig};
 pub use probe::{Probe, ProbeConfig};
 pub use record::{DnsRecord, FlowRecord, L7Protocol, RttSummary};
+pub use sharded::ShardedProbe;

@@ -110,11 +110,7 @@ pub fn read_pcap<R: Read>(mut input: R) -> io::Result<Vec<PcapRecord>> {
         }
         let mut data = vec![0u8; incl as usize];
         input.read_exact(&mut data)?;
-        out.push(PcapRecord {
-            t: SimTime::from_nanos(sec * 1_000_000_000 + usec * 1_000),
-            data,
-            orig_len: orig,
-        });
+        out.push(PcapRecord { t: SimTime::from_nanos(sec * 1_000_000_000 + usec * 1_000), data, orig_len: orig });
     }
     Ok(out)
 }

@@ -11,8 +11,7 @@ use crate::flowtable::{Direction, FlowTable, FlowTableConfig};
 use crate::record::{DnsRecord, FlowRecord};
 use satwatch_netstack::dns::DnsMessage;
 use satwatch_netstack::{Packet, Transport};
-use satwatch_simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use satwatch_simcore::{fx_map_with_capacity, FxHashMap, SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 /// Probe configuration.
@@ -62,7 +61,9 @@ pub struct Probe {
     cfg: ProbeConfig,
     table: FlowTable,
     anon: CryptoPan,
-    pending_dns: HashMap<DnsKey, PendingDns>,
+    /// Fx-hashed: keys are simulator-generated (client, resolver, id)
+    /// triples, touched for every DNS packet.
+    pending_dns: FxHashMap<DnsKey, PendingDns>,
     dns_log: Vec<DnsRecord>,
     last_sweep: SimTime,
     /// Total packets observed.
@@ -76,7 +77,7 @@ impl Probe {
         Probe {
             table: FlowTable::new(cfg.flow_table),
             anon: CryptoPan::new(cfg.anon_seed),
-            pending_dns: HashMap::new(),
+            pending_dns: fx_map_with_capacity(64),
             dns_log: Vec::new(),
             last_sweep: SimTime::ZERO,
             packets: 0,
@@ -87,14 +88,28 @@ impl Probe {
 
     /// Observe one packet at the span port.
     pub fn observe(&mut self, t: SimTime, pkt: &Packet) {
+        self.process_packet(t, pkt);
+        if t - self.last_sweep >= self.cfg.sweep_interval {
+            self.sweep_now(t);
+        }
+    }
+
+    /// Process one packet *without* the periodic-sweep check. The
+    /// sharded probe uses this and drives [`Probe::sweep_now`]
+    /// globally, so eviction timing is identical at any shard count
+    /// (a shard seeing few packets must not sweep late).
+    pub fn process_packet(&mut self, t: SimTime, pkt: &Packet) {
         self.packets += 1;
         self.table.process(t, pkt);
         self.maybe_log_dns(t, pkt);
-        if t - self.last_sweep >= self.cfg.sweep_interval {
-            self.table.sweep(t);
-            self.expire_dns(t);
-            self.last_sweep = t;
-        }
+    }
+
+    /// Run the idle-flow sweep and DNS expiry now, resetting the
+    /// periodic-sweep clock.
+    pub fn sweep_now(&mut self, t: SimTime) {
+        self.table.sweep(t);
+        self.expire_dns(t);
+        self.last_sweep = t;
     }
 
     /// Observe a packet from raw wire bytes (exercises the full parse
@@ -148,13 +163,11 @@ impl Probe {
 
     fn expire_dns(&mut self, t: SimTime) {
         let timeout = self.cfg.dns_timeout;
-        let mut expired: Vec<DnsKey> = self
-            .pending_dns
-            .iter()
-            .filter(|(_, p)| t - p.asked_at > timeout)
-            .map(|(k, _)| k.clone())
-            .collect();
-        expired.sort_by(|a, b| (self.pending_dns[a].asked_at, a.client, a.id).cmp(&(self.pending_dns[b].asked_at, b.client, b.id)));
+        let mut expired: Vec<DnsKey> =
+            self.pending_dns.iter().filter(|(_, p)| t - p.asked_at > timeout).map(|(k, _)| k.clone()).collect();
+        expired.sort_by(|a, b| {
+            (self.pending_dns[a].asked_at, a.client, a.id).cmp(&(self.pending_dns[b].asked_at, b.client, b.id))
+        });
         for k in expired {
             let p = self.pending_dns.remove(&k).expect("expired entry present");
             self.dns_log.push(DnsRecord {
@@ -190,15 +203,31 @@ impl Probe {
             f.client = self.anon.anonymize(f.client);
         }
         // canonical output order regardless of eviction history
-        flows.sort_by_key(|f| (f.first, f.client, f.client_port, f.server, f.server_port));
+        flows.sort_by_key(flow_sort_key);
         let mut dns = self.dns_log;
-        dns.sort_by_key(|d| (d.ts, d.client, d.resolver, d.query.clone()));
+        dns.sort_by_key(dns_sort_key);
         (flows, dns)
     }
 
     pub fn active_flows(&self) -> usize {
         self.table.active_flows()
     }
+}
+
+/// Canonical output order for flow records. The key is total over
+/// distinct flows (the `ip_proto` tail disambiguates a TCP and a UDP
+/// flow sharing addresses, ports and start time), so sorting the
+/// concatenation of per-shard outputs reproduces the single-probe
+/// order exactly — the property the sharded probe's merge relies on.
+pub(crate) fn flow_sort_key(f: &FlowRecord) -> (SimTime, Ipv4Addr, u16, Ipv4Addr, u16, u8) {
+    (f.first, f.client, f.client_port, f.server, f.server_port, f.ip_proto)
+}
+
+/// Canonical output order for DNS records. Records that tie on this
+/// key always share a (client, resolver) pair and therefore a shard,
+/// so a stable sort keeps them in observation order on merge too.
+pub(crate) fn dns_sort_key(d: &DnsRecord) -> (SimTime, Ipv4Addr, Ipv4Addr, String) {
+    (d.ts, d.client, d.resolver, d.query.clone())
 }
 
 #[cfg(test)]

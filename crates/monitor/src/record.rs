@@ -66,6 +66,19 @@ impl L7Protocol {
         L7Protocol::Dns,
         L7Protocol::OtherUdp,
     ];
+
+    /// Position of `self` in [`L7Protocol::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            L7Protocol::TlsHttps => 0,
+            L7Protocol::Http => 1,
+            L7Protocol::OtherTcp => 2,
+            L7Protocol::Quic => 3,
+            L7Protocol::Rtp => 4,
+            L7Protocol::Dns => 5,
+            L7Protocol::OtherUdp => 6,
+        }
+    }
 }
 
 /// Min/avg/max/std summary of the RTT samples in one flow.
@@ -83,13 +96,7 @@ impl RttSummary {
         if r.count() == 0 {
             return RttSummary::default();
         }
-        RttSummary {
-            samples: r.count(),
-            min_ms: r.min(),
-            avg_ms: r.mean(),
-            max_ms: r.max(),
-            std_ms: r.std_dev(),
-        }
+        RttSummary { samples: r.count(), min_ms: r.min(), avg_ms: r.mean(), max_ms: r.max(), std_ms: r.std_dev() }
     }
 }
 

@@ -44,8 +44,7 @@ impl HourBucket {
     }
 
     pub fn protocol_flows(&self, p: L7Protocol) -> u64 {
-        let idx = L7Protocol::ALL.iter().position(|q| *q == p).expect("protocol in ALL");
-        self.by_protocol[idx]
+        self.by_protocol[p.index()]
     }
 }
 
@@ -71,8 +70,7 @@ impl<K: Ord + Clone> HourlyRollup<K> {
         bucket.flows += 1;
         bucket.bytes_up += flow.c2s_bytes;
         bucket.bytes_down += flow.s2c_bytes;
-        let idx = L7Protocol::ALL.iter().position(|q| *q == flow.l7).expect("protocol in ALL");
-        bucket.by_protocol[idx] += 1;
+        bucket.by_protocol[flow.l7.index()] += 1;
         if flow.ground_rtt.samples > 0 {
             bucket.ground_rtt_median.push(flow.ground_rtt.avg_ms);
         }

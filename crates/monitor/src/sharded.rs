@@ -1,0 +1,269 @@
+//! Sharded probe: the span-port stream partitioned across N worker
+//! threads, each running a full [`Probe`], with a deterministic merge.
+//!
+//! ## Determinism contract
+//!
+//! `ShardedProbe` with any shard count produces **byte-identical**
+//! output to a single [`Probe`] fed the same packet stream. Three
+//! design choices make this true:
+//!
+//! 1. **Routing by host pair, not five-tuple.** The probe's DNS
+//!    transaction table is keyed `(client, resolver, id)` — it ignores
+//!    ports — so two queries from different source ports must land on
+//!    the same shard to share state. Routing on the unordered
+//!    `(min(src, dst), max(src, dst))` address pair guarantees every
+//!    packet of a host pair (both directions, all ports, all
+//!    protocols) is seen by exactly one shard. The hash is
+//!    [`fx_hash_one`], which has no per-process random state, so the
+//!    partition itself is reproducible run to run.
+//!
+//! 2. **Globally driven sweeps.** A single probe sweeps when a packet
+//!    arrives ≥ `sweep_interval` after the last sweep. If each shard
+//!    swept on *its own* packet arrivals, a quiet shard would sweep
+//!    late and evict an idle flow after its five-tuple was reused,
+//!    merging two flows that the single probe keeps separate. Instead
+//!    the dispatcher keeps the one sweep clock and broadcasts
+//!    `Sweep(t)` to every shard at exactly the moments the single
+//!    probe would sweep. Per-shard channels are FIFO, so each shard
+//!    has processed all packets before `t` when the sweep runs.
+//!
+//! 3. **Total merge keys.** Each shard's `finish()` output is sorted
+//!    by the probe's canonical keys; the merge concatenates and
+//!    re-sorts with the same keys. The flow key is total over distinct
+//!    flows, and DNS ties always share a shard, so the merged order
+//!    equals the single-probe order.
+
+use crate::probe::{dns_sort_key, flow_sort_key, Probe, ProbeConfig};
+use crate::record::{DnsRecord, FlowRecord};
+use satwatch_netstack::Packet;
+use satwatch_simcore::{fx_hash_one, resolve_workers, SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+/// Per-shard channel depth. Deep enough to ride out transient
+/// imbalance between shards without stalling the dispatcher.
+const SHARD_QUEUE_DEPTH: usize = 4_096;
+
+enum ShardMsg {
+    Packet(SimTime, Packet),
+    Sweep(SimTime),
+}
+
+struct ShardOutput {
+    flows: Vec<FlowRecord>,
+    dns: Vec<DnsRecord>,
+    packets: u64,
+    parse_errors: u64,
+}
+
+enum Mode {
+    /// One shard: run the probe inline, no threads, no channel.
+    Single(Box<Probe>),
+    Threaded {
+        senders: Vec<SyncSender<ShardMsg>>,
+        workers: Vec<JoinHandle<ShardOutput>>,
+    },
+}
+
+/// A probe whose packet stream is partitioned across worker threads.
+///
+/// Construct with the desired shard count (`0` = one per core,
+/// `1` = inline single probe) and use exactly like [`Probe`]:
+/// `observe()` per packet in global time order, then `finish()`.
+pub struct ShardedProbe {
+    mode: Mode,
+    sweep_interval: SimDuration,
+    last_sweep: SimTime,
+    /// Total packets dispatched (mirrors [`Probe::packets`]).
+    pub packets: u64,
+}
+
+impl ShardedProbe {
+    pub fn new(cfg: ProbeConfig, shards: usize) -> ShardedProbe {
+        let shards = resolve_workers(shards);
+        let mode = if shards <= 1 {
+            Mode::Single(Box::new(Probe::new(cfg)))
+        } else {
+            let mut senders = Vec::with_capacity(shards);
+            let mut workers = Vec::with_capacity(shards);
+            for shard in 0..shards {
+                let (tx, rx) = sync_channel::<ShardMsg>(SHARD_QUEUE_DEPTH);
+                senders.push(tx);
+                let builder = std::thread::Builder::new().name(format!("probe-shard-{shard}"));
+                let handle = builder
+                    .spawn(move || {
+                        let mut probe = Probe::new(cfg);
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                ShardMsg::Packet(t, pkt) => probe.process_packet(t, &pkt),
+                                ShardMsg::Sweep(t) => probe.sweep_now(t),
+                            }
+                        }
+                        let packets = probe.packets;
+                        let parse_errors = probe.parse_errors;
+                        let (flows, dns) = probe.finish();
+                        ShardOutput { flows, dns, packets, parse_errors }
+                    })
+                    .expect("spawn probe shard");
+                workers.push(handle);
+            }
+            Mode::Threaded { senders, workers }
+        };
+        ShardedProbe { mode, sweep_interval: cfg.sweep_interval, last_sweep: SimTime::ZERO, packets: 0 }
+    }
+
+    /// Number of shards actually running.
+    pub fn shards(&self) -> usize {
+        match &self.mode {
+            Mode::Single(_) => 1,
+            Mode::Threaded { senders, .. } => senders.len(),
+        }
+    }
+
+    /// Observe one packet. Must be called in global time order, like
+    /// [`Probe::observe`].
+    pub fn observe(&mut self, t: SimTime, pkt: &Packet) {
+        self.packets += 1;
+        match &mut self.mode {
+            Mode::Single(probe) => probe.observe(t, pkt),
+            Mode::Threaded { senders, .. } => {
+                let shard = shard_of(pkt.ip.src, pkt.ip.dst, senders.len());
+                senders[shard].send(ShardMsg::Packet(t, pkt.clone())).expect("probe shard alive");
+                if t - self.last_sweep >= self.sweep_interval {
+                    for tx in senders.iter() {
+                        tx.send(ShardMsg::Sweep(t)).expect("probe shard alive");
+                    }
+                    self.last_sweep = t;
+                }
+            }
+        }
+    }
+
+    /// Finish the capture: flush every shard and merge the outputs
+    /// into the canonical single-probe order.
+    pub fn finish(self) -> (Vec<FlowRecord>, Vec<DnsRecord>) {
+        match self.mode {
+            Mode::Single(probe) => probe.finish(),
+            Mode::Threaded { senders, workers } => {
+                drop(senders); // close channels; workers drain and flush
+                let mut flows = Vec::new();
+                let mut dns = Vec::new();
+                for handle in workers {
+                    let out = handle.join().expect("probe shard finished");
+                    debug_assert_eq!(out.parse_errors, 0, "shards receive pre-parsed packets");
+                    let _ = out.packets;
+                    flows.extend(out.flows);
+                    dns.extend(out.dns);
+                }
+                // Stable sorts + total/tie-safe keys ⇒ identical bytes
+                // to the single probe (see module docs).
+                flows.sort_by_key(flow_sort_key);
+                dns.sort_by_key(dns_sort_key);
+                (flows, dns)
+            }
+        }
+    }
+}
+
+/// Route a packet to a shard by its unordered address pair.
+fn shard_of(src: Ipv4Addr, dst: Ipv4Addr, shards: usize) -> usize {
+    let pair = if src <= dst { (src, dst) } else { (dst, src) };
+    (fx_hash_one(&pair) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowtable::FlowTableConfig;
+    use bytes::Bytes;
+    use satwatch_netstack::Subnet;
+
+    fn cfg() -> ProbeConfig {
+        ProbeConfig::new(FlowTableConfig::new(Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 8)))
+    }
+
+    fn t(ms: i64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    /// A little synthetic stream spanning many host pairs, both
+    /// directions, DNS, and a long idle gap that exercises sweeps.
+    fn stream() -> Vec<(SimTime, Packet)> {
+        use satwatch_netstack::dns::{DnsMessage, RecordType};
+        let mut pkts = Vec::new();
+        for i in 0..40u8 {
+            let client = Ipv4Addr::new(10, 1, (i % 8) + 1, i + 1);
+            let server = Ipv4Addr::new(198, 18, 0, (i % 5) + 1);
+            let sport = 40_000 + u16::from(i);
+            pkts.push((t(i64::from(i) * 25), Packet::udp(client, server, sport, 443, Bytes::from_static(&[7; 100]))));
+            pkts.push((
+                t(i64::from(i) * 25 + 600),
+                Packet::udp(server, client, 443, sport, Bytes::from_static(&[7; 900])),
+            ));
+            // a DNS transaction per client
+            let q = DnsMessage::query(u16::from(i), "cdn.example", RecordType::A);
+            let resolver = Ipv4Addr::new(8, 8, 8, 8);
+            pkts.push((t(i64::from(i) * 25 + 2), Packet::udp(client, resolver, 30_000 + u16::from(i), 53, q.encode())));
+            if i % 3 != 0 {
+                let r = DnsMessage::answer_a(&q, &[Ipv4Addr::new(198, 18, 9, 9)], 60);
+                pkts.push((
+                    t(i64::from(i) * 25 + 610),
+                    Packet::udp(resolver, client, 53, 30_000 + u16::from(i), r.encode()),
+                ));
+            }
+        }
+        // long gap, then fresh traffic triggering idle sweeps
+        for i in 0..10u8 {
+            let client = Ipv4Addr::new(10, 2, 0, i + 1);
+            let server = Ipv4Addr::new(198, 18, 1, 1);
+            pkts.push((
+                t(400_000 + i64::from(i) * 10),
+                Packet::udp(client, server, 999, 80, Bytes::from_static(&[1; 60])),
+            ));
+        }
+        pkts.sort_by_key(|(time, _)| *time);
+        pkts
+    }
+
+    fn run_with_shards(shards: usize) -> (Vec<FlowRecord>, Vec<DnsRecord>) {
+        let mut probe = ShardedProbe::new(cfg(), shards);
+        for (time, pkt) in stream() {
+            probe.observe(time, &pkt);
+        }
+        probe.finish()
+    }
+
+    #[test]
+    fn shard_counts_agree_exactly() {
+        let baseline = run_with_shards(1);
+        assert!(!baseline.0.is_empty() && !baseline.1.is_empty());
+        for shards in [2, 3, 4, 8] {
+            let sharded = run_with_shards(shards);
+            assert_eq!(sharded.0, baseline.0, "flows differ at {shards} shards");
+            assert_eq!(sharded.1, baseline.1, "dns differs at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn both_directions_route_to_same_shard() {
+        for n in [2usize, 3, 5, 8] {
+            let a = Ipv4Addr::new(10, 1, 2, 3);
+            let b = Ipv4Addr::new(198, 18, 0, 7);
+            assert_eq!(shard_of(a, b, n), shard_of(b, a, n));
+        }
+    }
+
+    #[test]
+    fn packet_count_matches_single_probe() {
+        let mut sharded = ShardedProbe::new(cfg(), 4);
+        let mut single = Probe::new(cfg());
+        for (time, pkt) in stream() {
+            sharded.observe(time, &pkt);
+            single.observe(time, &pkt);
+        }
+        assert_eq!(sharded.packets, single.packets);
+        assert_eq!(sharded.shards(), 4);
+        sharded.finish();
+    }
+}

@@ -290,9 +290,8 @@ fn decode_name(buf: &[u8], start: usize) -> Result<(String, usize), ParseError> 
             if name.len() + len + 1 > MAX_NAME_LEN {
                 return Err(ParseError::BadField("dns name too long"));
             }
-            let label = buf
-                .get(i + 1..i + 1 + len)
-                .ok_or(ParseError::Truncated { needed: i + 1 + len, got: buf.len() })?;
+            let label =
+                buf.get(i + 1..i + 1 + len).ok_or(ParseError::Truncated { needed: i + 1 + len, got: buf.len() })?;
             if !name.is_empty() {
                 name.push('.');
             }
@@ -343,10 +342,8 @@ mod tests {
     fn cname_answers() {
         let q = DnsMessage::query(9, "www.sky.com", RecordType::A);
         let mut r = DnsMessage::answer_a(&q, &[Ipv4Addr::new(2, 3, 4, 5)], 60);
-        r.answers.insert(
-            0,
-            Answer::Cname { name: "www.sky.com".into(), target: "sky.com.edgekey.net".into(), ttl: 60 },
-        );
+        r.answers
+            .insert(0, Answer::Cname { name: "www.sky.com".into(), target: "sky.com.edgekey.net".into(), ttl: 60 });
         let parsed = DnsMessage::parse(&r.encode()).unwrap();
         assert_eq!(parsed.answers.len(), 2);
         match &parsed.answers[0] {

@@ -149,7 +149,11 @@ impl Subnet {
     }
 
     fn mask(prefix_len: u8) -> u32 {
-        if prefix_len == 0 { 0 } else { u32::MAX << (32 - prefix_len) }
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
     }
 
     pub fn contains(&self, addr: Ipv4Addr) -> bool {
@@ -166,7 +170,11 @@ impl Subnet {
 
     /// Number of usable host addresses.
     pub fn capacity(&self) -> u32 {
-        if self.prefix_len >= 31 { 1 } else { (1u32 << (32 - self.prefix_len)) - 2 }
+        if self.prefix_len >= 31 {
+            1
+        } else {
+            (1u32 << (32 - self.prefix_len)) - 2
+        }
     }
 }
 

@@ -117,19 +117,11 @@ impl Packet {
         match ip.protocol {
             proto::TCP => {
                 let (tcp, used) = TcpHeader::parse(l4)?;
-                Ok(Packet {
-                    ip,
-                    transport: Transport::Tcp(tcp),
-                    payload: Bytes::copy_from_slice(&l4[used..]),
-                })
+                Ok(Packet { ip, transport: Transport::Tcp(tcp), payload: Bytes::copy_from_slice(&l4[used..]) })
             }
             proto::UDP => {
                 let (udp, used) = UdpHeader::parse(l4)?;
-                Ok(Packet {
-                    ip,
-                    transport: Transport::Udp(udp),
-                    payload: Bytes::copy_from_slice(&l4[used..]),
-                })
+                Ok(Packet { ip, transport: Transport::Udp(udp), payload: Bytes::copy_from_slice(&l4[used..]) })
             }
             _ => Err(ParseError::BadField("unsupported protocol")),
         }
@@ -164,7 +156,11 @@ impl FiveTuple {
     pub fn canonical(&self) -> FiveTuple {
         let a = (self.src, self.src_port);
         let b = (self.dst, self.dst_port);
-        if a <= b { *self } else { self.reversed() }
+        if a <= b {
+            *self
+        } else {
+            self.reversed()
+        }
     }
 }
 

@@ -79,9 +79,8 @@ mod tests {
     #[test]
     fn rejects_wrong_version_and_short() {
         assert!(matches!(RtpHeader::parse(&[0; 4]), Err(ParseError::Truncated { .. })));
-        let mut wire = RtpHeader { payload_type: 0, sequence: 0, timestamp: 0, ssrc: 0, marker: false }
-            .encode(0, 0)
-            .to_vec();
+        let mut wire =
+            RtpHeader { payload_type: 0, sequence: 0, timestamp: 0, ssrc: 0, marker: false }.encode(0, 0).to_vec();
         wire[0] = 0x40; // version 1
         assert_eq!(RtpHeader::parse(&wire).unwrap_err(), ParseError::BadField("rtp version"));
         assert!(!looks_like_rtp(&wire));

@@ -127,15 +127,7 @@ pub struct TcpHeader {
 
 impl TcpHeader {
     pub fn new(src_port: u16, dst_port: u16, flags: TcpFlags) -> TcpHeader {
-        TcpHeader {
-            src_port,
-            dst_port,
-            seq: SeqNum(0),
-            ack: SeqNum(0),
-            flags,
-            window: 65_535,
-            options: Vec::new(),
-        }
+        TcpHeader { src_port, dst_port, seq: SeqNum(0), ack: SeqNum(0), flags, window: 65_535, options: Vec::new() }
     }
 
     /// Header length on the wire including padded options.
@@ -208,8 +200,8 @@ impl TcpHeader {
         let mut i = 20;
         while i < data_offset {
             match buf[i] {
-                0 => break,      // end of options
-                1 => i += 1,     // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 kind => {
                     if i + 1 >= data_offset {
                         return Err(ParseError::BadField("tcp option length"));

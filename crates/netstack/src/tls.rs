@@ -151,7 +151,7 @@ pub fn client_hello(sni: &str, random: [u8; 32]) -> Bytes {
     body.put_slice(&TLS12); // client_version
     body.put_slice(&random);
     body.put_u8(0); // session_id length
-    // cipher suites: a realistic short list
+                    // cipher suites: a realistic short list
     let suites: [u16; 4] = [0xc02f, 0xc030, 0x009e, 0x002f];
     body.put_u16(suites.len() as u16 * 2);
     for s in suites {

@@ -66,13 +66,7 @@ impl SatelliteAccess {
 
     /// [`Self::stall_delay`] with an explicit instantaneous impairment
     /// (static + rain), as computed by [`Self::impairment_at`].
-    pub fn stall_delay_impaired(
-        &self,
-        rng: &mut Rng,
-        beam: &Beam,
-        utilization: f64,
-        impairment: f64,
-    ) -> SimDuration {
+    pub fn stall_delay_impaired(&self, rng: &mut Rng, beam: &Beam, utilization: f64, impairment: f64) -> SimDuration {
         let c = (utilization * (1.0 / beam.pep_provisioning.max(0.05) - 1.0)).clamp(0.0, 1.2);
         let i = impairment * impairment;
         let p = (0.18 * c + 0.25 * i).clamp(0.0, 0.6);
@@ -87,9 +81,7 @@ impl SatelliteAccess {
     /// Instantaneous channel impairment: static geometry/coverage-edge
     /// term plus any rain fade at `t`.
     pub fn impairment_at(&self, beam: &Beam, t: SimTime) -> f64 {
-        let rain = self
-            .weather
-            .map_or(0.0, |w| w.rain_impairment(beam.country, beam.id, t));
+        let rain = self.weather.map_or(0.0, |w| w.rain_impairment(beam.country, beam.id, t));
         (beam.impairment + rain).min(0.95)
     }
 
@@ -213,8 +205,9 @@ mod tests {
     fn rtt_quantiles(b: &Beam, t: &Terminal, hour: u32, seed: u64) -> (f64, f64, f64) {
         let acc = access();
         let mut rng = Rng::new(seed);
-        let mut v: Vec<f64> =
-            (0..4000).map(|_| acc.segment_rtt(&mut rng, b, t, hour, SimTime::from_secs(hour as u64 * 3600), false).as_secs_f64()).collect();
+        let mut v: Vec<f64> = (0..4000)
+            .map(|_| acc.segment_rtt(&mut rng, b, t, hour, SimTime::from_secs(hour as u64 * 3600), false).as_secs_f64())
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         (v[v.len() / 10], v[v.len() / 2], v[v.len() * 9 / 10])
     }
@@ -282,7 +275,10 @@ mod tests {
         let mut rng = Rng::new(71);
         let n = 6000;
         let over_2s = (0..n)
-            .filter(|_| acc.segment_rtt(&mut rng, &starved, &t, 3, SimTime::from_secs(3 * 3600), false) > SimDuration::from_secs(2))
+            .filter(|_| {
+                acc.segment_rtt(&mut rng, &starved, &t, 3, SimTime::from_secs(3 * 3600), false)
+                    > SimDuration::from_secs(2)
+            })
             .count() as f64
             / n as f64;
         // paper: ~20 % of samples above 2 s already off-peak
@@ -291,7 +287,10 @@ mod tests {
         let healthy = beam("ES", 0.15, 0.45, 1.0, 0.02);
         let te = terminal("ES", places::SPAIN_MADRID);
         let over_2s_h = (0..n)
-            .filter(|_| acc.segment_rtt(&mut rng, &healthy, &te, 3, SimTime::from_secs(3 * 3600), false) > SimDuration::from_secs(2))
+            .filter(|_| {
+                acc.segment_rtt(&mut rng, &healthy, &te, 3, SimTime::from_secs(3 * 3600), false)
+                    > SimDuration::from_secs(2)
+            })
             .count() as f64
             / n as f64;
         assert!(over_2s_h < 0.03, "{over_2s_h}");
@@ -314,7 +313,9 @@ mod tests {
         let acc = access();
         let mean = |cold: bool, seed| {
             let mut rng = Rng::new(seed);
-            (0..3000).map(|_| acc.segment_rtt(&mut rng, &b, &t, 12, SimTime::from_secs(12 * 3600), cold).as_secs_f64()).sum::<f64>()
+            (0..3000)
+                .map(|_| acc.segment_rtt(&mut rng, &b, &t, 12, SimTime::from_secs(12 * 3600), cold).as_secs_f64())
+                .sum::<f64>()
                 / 3000.0
         };
         assert!(mean(true, 6) > mean(false, 6) + 0.04);

@@ -3,7 +3,7 @@
 
 use crate::geo::LatLon;
 use satwatch_netstack::Subnet;
-use std::collections::HashMap;
+use satwatch_simcore::{fx_map_with_capacity, FxHashMap};
 use std::net::Ipv4Addr;
 
 /// NAT translation: customers get private addresses; the ground
@@ -16,16 +16,23 @@ use std::net::Ipv4Addr;
 pub struct Nat {
     public_pool: Vec<Ipv4Addr>,
     next_port: u16,
-    /// (private src, private port) → (public src, public port)
-    forward: HashMap<(Ipv4Addr, u16), (Ipv4Addr, u16)>,
+    /// (private src, private port) → (public src, public port).
+    /// Fx-hashed: endpoints are simulator-generated, and the NAT is
+    /// consulted per flow — no DoS adversary to defend against.
+    forward: FxHashMap<(Ipv4Addr, u16), (Ipv4Addr, u16)>,
     /// (public src, public port) → (private src, private port)
-    reverse: HashMap<(Ipv4Addr, u16), (Ipv4Addr, u16)>,
+    reverse: FxHashMap<(Ipv4Addr, u16), (Ipv4Addr, u16)>,
 }
 
 impl Nat {
     pub fn new(public_pool: Vec<Ipv4Addr>) -> Nat {
         assert!(!public_pool.is_empty());
-        Nat { public_pool, next_port: 10_000, forward: HashMap::new(), reverse: HashMap::new() }
+        Nat {
+            public_pool,
+            next_port: 10_000,
+            forward: fx_map_with_capacity(1_024),
+            reverse: fx_map_with_capacity(1_024),
+        }
     }
 
     /// Translate an outbound (private) endpoint, creating a binding if

@@ -30,12 +30,7 @@ pub struct LinkConfig {
 
 impl Default for LinkConfig {
     fn default() -> LinkConfig {
-        LinkConfig {
-            base_loss: 0.002,
-            impairment_loss: 0.18,
-            arq_round: SimDuration::from_millis(560),
-            max_rounds: 4,
-        }
+        LinkConfig { base_loss: 0.002, impairment_loss: 0.18, arq_round: SimDuration::from_millis(560), max_rounds: 4 }
     }
 }
 

@@ -165,8 +165,7 @@ mod tests {
     fn forward_delay_is_small_when_healthy() {
         let pep = PepModel::new(PepConfig::default());
         let mut rng = Rng::new(3);
-        let mean: f64 =
-            (0..30_000).map(|_| pep.forward_delay(&mut rng, 0.3).as_millis_f64()).sum::<f64>() / 30_000.0;
+        let mean: f64 = (0..30_000).map(|_| pep.forward_delay(&mut rng, 0.3).as_millis_f64()).sum::<f64>() / 30_000.0;
         assert!(mean < 0.5, "{mean} ms");
     }
 

@@ -174,7 +174,7 @@ mod tests {
         let mut tb = TokenBucket::new(BitRate::from_mbps(8), Bytes::from_kb(100));
         let t0 = SimTime::from_secs(1);
         tb.delay_for(t0, Bytes::from_kb(100)); // drain
-        // after 50 ms, 50 kB of tokens are back
+                                               // after 50 ms, 50 kB of tokens are back
         let t1 = t0 + SimDuration::from_millis(50);
         assert_eq!(tb.delay_for(t1, Bytes::from_kb(50)), SimDuration::ZERO);
     }

@@ -63,8 +63,8 @@ impl Climate {
     /// Storm duration range in seconds.
     fn duration_range(self) -> (u64, u64) {
         match self {
-            Climate::TropicalConvective => (600, 4_500),    // 10–75 min
-            Climate::TemperateMaritime => (1_800, 14_400),  // 0.5–4 h
+            Climate::TropicalConvective => (600, 4_500),   // 10–75 min
+            Climate::TemperateMaritime => (1_800, 14_400), // 0.5–4 h
             Climate::DrySeasonal => (900, 5_400),
         }
     }
@@ -139,8 +139,7 @@ impl WeatherModel {
     pub fn rain_impairment(&self, country: &str, beam: BeamId, t: SimTime) -> f64 {
         let day = t.day();
         let sec = t.as_secs() % SECS_PER_DAY;
-        let total: f64 =
-            self.events(country, beam, day).iter().map(|e| e.impairment_at(sec)).sum();
+        let total: f64 = self.events(country, beam, day).iter().map(|e| e.impairment_at(sec)).sum();
         total.min(0.9)
     }
 }
@@ -174,9 +173,7 @@ mod tests {
     fn tropical_rains_more() {
         let w = WeatherModel::new(99);
         let days = 300;
-        let count = |cc: &str| -> usize {
-            (0..days).map(|d| w.events(cc, BeamId(0), d).len()).sum()
-        };
+        let count = |cc: &str| -> usize { (0..days).map(|d| w.events(cc, BeamId(0), d).len()).sum() };
         let tropical = count("NG");
         let dry = count("ES");
         assert!(tropical > 2 * dry, "tropical {tropical} vs dry {dry}");

@@ -11,8 +11,18 @@ use satwatch_traffic::Country;
 
 /// The Fig 6 service subset (services the user intentionally visits).
 pub const FIG6_SERVICES: [&str; 12] = [
-    "Google", "Whatsapp", "Snapchat", "Wechat", "Telegram", "Instagram", "Tiktok", "Netflix",
-    "Primevideo", "Sky", "Spotify", "Dropbox",
+    "Google",
+    "Whatsapp",
+    "Snapchat",
+    "Wechat",
+    "Telegram",
+    "Instagram",
+    "Tiktok",
+    "Netflix",
+    "Primevideo",
+    "Sky",
+    "Spotify",
+    "Dropbox",
 ];
 
 /// Top-6 countries as a slice (Fig 6–11 scope).
@@ -97,9 +107,7 @@ pub fn ablation_summary(ds: &Dataset) -> AblationSummary {
     let mut african_rtt: Vec<f64> = ds
         .flows
         .iter()
-        .filter(|f| {
-            enr.country(f.client).is_some_and(|c| c.is_african()) && f.ground_rtt.samples > 0
-        })
+        .filter(|f| enr.country(f.client).is_some_and(|c| c.is_african()) && f.ground_rtt.samples > 0)
         .map(|f| f.ground_rtt.avg_ms)
         .collect();
     african_rtt.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -226,25 +226,45 @@ impl NetModel {
             let query = dns::DnsMessage::query(qid, &intent.domain, dns::RecordType::A);
             let t_q = intent.start + up(rng, true);
             cold_used = true;
-            fb.out.push((
-                t_q,
-                Packet::udp(terminal.address, resolver_addr, dns_port, 53, query.encode()),
-            ));
+            fb.out.push((t_q, Packet::udp(terminal.address, resolver_addr, dns_port, 53, query.encode())));
             let t_r = t_q + intent.resolver.sample_response_time(rng);
             let response = dns::DnsMessage::answer_a(&query, &[server], 300);
-            fb.out.push((
-                t_r,
-                Packet::udp(resolver_addr, terminal.address, 53, dns_port, response.encode()),
-            ));
+            fb.out.push((t_r, Packet::udp(resolver_addr, terminal.address, 53, dns_port, response.encode())));
             t_client_ready = t_r + down(rng);
         }
 
         match intent.protocol {
             FlowProtocol::Tls | FlowProtocol::Http | FlowProtocol::OtherTcp => {
-                self.simulate_tcp(intent, customer, svc, beam, hour, t_client_ready, cold_used, &mut g, rng, &mut fb, up, down);
+                self.simulate_tcp(
+                    intent,
+                    customer,
+                    svc,
+                    beam,
+                    hour,
+                    t_client_ready,
+                    cold_used,
+                    &mut g,
+                    rng,
+                    &mut fb,
+                    up,
+                    down,
+                );
             }
             FlowProtocol::Quic => {
-                self.simulate_quic(intent, customer, svc, beam, hour, t_client_ready, cold_used, &mut g, rng, &mut fb, up, down);
+                self.simulate_quic(
+                    intent,
+                    customer,
+                    svc,
+                    beam,
+                    hour,
+                    t_client_ready,
+                    cold_used,
+                    &mut g,
+                    rng,
+                    &mut fb,
+                    up,
+                    down,
+                );
             }
             FlowProtocol::Rtp | FlowProtocol::OtherUdp => {
                 self.simulate_udp_stream(intent, t_client_ready, cold_used, rng, &mut fb, up, down);
@@ -273,11 +293,8 @@ impl NetModel {
         // and the connect crosses the satellite once; without it, the
         // SYN itself crosses end-to-end (A3 ablation).
         let t_conn_at_gs = t_ready + up(rng, !cold_used);
-        let t_syn = if self.pep_enabled {
-            t_conn_at_gs + self.access.pep_setup_delay(rng, beam, hour)
-        } else {
-            t_conn_at_gs
-        };
+        let t_syn =
+            if self.pep_enabled { t_conn_at_gs + self.access.pep_setup_delay(rng, beam, hour) } else { t_conn_at_gs };
         fb.tcp(t_syn, true, TcpFlags::SYN, Bytes::new());
         let t_synack = t_syn + g();
         fb.tcp(t_synack, false, TcpFlags::SYN_ACK, Bytes::new());
@@ -307,10 +324,7 @@ impl NetModel {
                 fb.tcp(t_sh + eps, false, TcpFlags::PSH_ACK, Bytes::from(flight));
                 // ClientKeyExchange returns after one full satellite
                 // round trip (+ home) — the monitor's satellite RTT.
-                let t_cke = t_sh
-                    + down(rng)
-                    + customer.terminal.home_rtt_sample(rng)
-                    + up(rng, false);
+                let t_cke = t_sh + down(rng) + customer.terminal.home_rtt_sample(rng) + up(rng, false);
                 let mut reply = Vec::new();
                 reply.extend_from_slice(&tls::client_key_exchange(0x6b));
                 reply.extend_from_slice(&tls::change_cipher_spec());
@@ -327,15 +341,16 @@ impl NetModel {
             FlowProtocol::Http => {
                 // request was buffered at the CPE; the PEP forwards it
                 // right after the ground handshake
-                let t_get = if self.pep_enabled {
-                    t_synack + eps + eps
-                } else {
-                    t_synack + down(rng) + up(rng, false)
-                };
+                let t_get = if self.pep_enabled { t_synack + eps + eps } else { t_synack + down(rng) + up(rng, false) };
                 let path = format!("/content/{}", rng.below(1_000_000));
                 fb.tcp(t_get, true, TcpFlags::PSH_ACK, http::get_request(&intent.domain, &path, "satwatch-ua/1.0"));
                 let t_head = t_get + g() + SimDuration::from_millis_f64(rng.range_f64(0.5, 5.0));
-                fb.tcp(t_head, false, TcpFlags::PSH_ACK, http::ok_response(intent.down_bytes, "application/octet-stream"));
+                fb.tcp(
+                    t_head,
+                    false,
+                    TcpFlags::PSH_ACK,
+                    http::ok_response(intent.down_bytes, "application/octet-stream"),
+                );
                 t_data_start = t_head + eps;
             }
             _ => {
@@ -567,10 +582,8 @@ mod tests {
             .iter()
             .position(|(_, p)| matches!(&p.transport, satwatch_netstack::Transport::Tcp(t) if t.flags.syn() && !t.flags.ack()))
             .expect("SYN present");
-        let ch_idx = pkts
-            .iter()
-            .position(|(_, p)| !p.payload.is_empty() && p.payload[0] == 22)
-            .expect("TLS record present");
+        let ch_idx =
+            pkts.iter().position(|(_, p)| !p.payload.is_empty() && p.payload[0] == 22).expect("TLS record present");
         assert!(syn_idx < ch_idx);
         // timestamps non-decreasing per flow direction stream? At
         // least: the vector should be roughly ordered; enforce sorted
@@ -586,10 +599,7 @@ mod tests {
         use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
         let mut pkts = sim_one(FlowProtocol::Tls, true, 2);
         pkts.sort_by_key(|(t, _)| *t);
-        let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(
-            Ipv4Addr::new(10, 0, 0, 0),
-            9,
-        )));
+        let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 9)));
         let mut probe = Probe::new(cfg);
         for (t, p) in &pkts {
             probe.observe(*t, p);
@@ -615,10 +625,7 @@ mod tests {
         use satwatch_monitor::{FlowTableConfig, Probe, ProbeConfig};
         let mut pkts = sim_one(FlowProtocol::Quic, false, 3);
         pkts.sort_by_key(|(t, _)| *t);
-        let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(
-            Ipv4Addr::new(10, 0, 0, 0),
-            9,
-        )));
+        let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 9)));
         let mut probe = Probe::new(cfg);
         for (t, p) in &pkts {
             probe.observe(*t, p);
@@ -641,10 +648,8 @@ mod tests {
         ] {
             let mut pkts = sim_one(proto, false, 4);
             pkts.sort_by_key(|(t, _)| *t);
-            let cfg = ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(
-                Ipv4Addr::new(10, 0, 0, 0),
-                9,
-            )));
+            let cfg =
+                ProbeConfig::new(FlowTableConfig::new(satwatch_netstack::Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 9)));
             let mut probe = Probe::new(cfg);
             for (t, p) in &pkts {
                 probe.observe(*t, p);
@@ -715,9 +720,7 @@ mod tests {
         for total in [1_000u64, 1_000_000, 25_000_000, 400_000_000] {
             let (chunk, n) = chunk_plan(total);
             assert!(n >= 1);
-            let emitted: u64 = (0..n)
-                .map(|i| if i == n - 1 { total - chunk * (n as u64 - 1) } else { chunk })
-                .sum();
+            let emitted: u64 = (0..n).map(|i| if i == n - 1 { total - chunk * (n as u64 - 1) } else { chunk }).sum();
             assert_eq!(emitted, total, "total {total}");
             assert!(chunk <= MAX_CHUNK);
         }
@@ -728,22 +731,19 @@ mod tests {
         let mut m = model(true);
         m.african_gs = true;
         let mut rng = Rng::new(6);
-        let local: f64 = (0..500)
-            .map(|_| m.ground_rtt_base(Region::AfricaCentral, true, &mut rng).as_millis_f64())
-            .sum::<f64>()
-            / 500.0;
+        let local: f64 =
+            (0..500).map(|_| m.ground_rtt_base(Region::AfricaCentral, true, &mut rng).as_millis_f64()).sum::<f64>()
+                / 500.0;
         assert!(local < 60.0, "{local}");
         // non-African customers still route through Italy
-        let via_italy: f64 = (0..500)
-            .map(|_| m.ground_rtt_base(Region::AfricaCentral, false, &mut rng).as_millis_f64())
-            .sum::<f64>()
-            / 500.0;
+        let via_italy: f64 =
+            (0..500).map(|_| m.ground_rtt_base(Region::AfricaCentral, false, &mut rng).as_millis_f64()).sum::<f64>()
+                / 500.0;
         assert!(via_italy > 200.0, "{via_italy}");
         // African customers to Europe unchanged
-        let eu: f64 = (0..500)
-            .map(|_| m.ground_rtt_base(Region::EuropeWest, true, &mut rng).as_millis_f64())
-            .sum::<f64>()
-            / 500.0;
+        let eu: f64 =
+            (0..500).map(|_| m.ground_rtt_base(Region::EuropeWest, true, &mut rng).as_millis_f64()).sum::<f64>()
+                / 500.0;
         assert!(eu < 40.0 && eu > 15.0, "{eu}");
     }
 }

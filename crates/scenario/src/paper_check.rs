@@ -7,8 +7,8 @@
 //! where crossovers fall. Each check therefore states the paper value,
 //! the measured value, and a shape criterion.
 
-use crate::run::Dataset;
 use crate::experiments;
+use crate::run::Dataset;
 use satwatch_internet::ResolverId;
 use satwatch_monitor::L7Protocol;
 use satwatch_traffic::{Category, Country};
@@ -29,7 +29,13 @@ pub struct CheckRow {
     pub pass: bool,
 }
 
-fn row(id: &'static str, what: impl Into<String>, paper: impl Into<String>, measured: impl Into<String>, pass: bool) -> CheckRow {
+fn row(
+    id: &'static str,
+    what: impl Into<String>,
+    paper: impl Into<String>,
+    measured: impl Into<String>,
+    pass: bool,
+) -> CheckRow {
     CheckRow { id, what: what.into(), paper: paper.into(), measured: measured.into(), pass }
 }
 
@@ -51,31 +57,69 @@ pub fn check_all(ds: &Dataset) -> Vec<CheckRow> {
         let got = t1.share(p);
         // within 6 percentage points or a factor of 2
         let pass = (got - paper).abs() <= 6.0 || (got / paper).max(paper / got) <= 2.0;
-        rows.push(row("T1", format!("{} volume share", p.label()), format!("{paper:.1} %"), format!("{got:.1} %"), pass));
+        rows.push(row(
+            "T1",
+            format!("{} volume share", p.label()),
+            format!("{paper:.1} %"),
+            format!("{got:.1} %"),
+            pass,
+        ));
     }
-    rows.push(row("T1", "DNS volume share", "< 0.1 %", format!("{:.3} %", t1.share(L7Protocol::Dns)), t1.share(L7Protocol::Dns) < 0.1));
+    rows.push(row(
+        "T1",
+        "DNS volume share",
+        "< 0.1 %",
+        format!("{:.3} %", t1.share(L7Protocol::Dns)),
+        t1.share(L7Protocol::Dns) < 0.1,
+    ));
 
     // ---- Figure 2 ----
     let f2 = experiments::fig2(ds);
     rows.push(row("F2", "country with most volume", "Congo", f2.rows[0].0.name(), f2.rows[0].0 == Country::Congo));
     if let (Some(cd), Some(es)) = (f2.row(Country::Congo), f2.row(Country::Spain)) {
-        rows.push(row("F2", "Congo volume% > customers% (20 % → 27 %)", "27 % vs 20 %",
-            format!("{:.1} % vs {:.1} %", cd.1, cd.2), cd.1 > cd.2));
-        rows.push(row("F2", "Spain volume% < customers% (16 % → 10 %)", "10 % vs 16 %",
-            format!("{:.1} % vs {:.1} %", es.1, es.2), es.1 < es.2));
+        rows.push(row(
+            "F2",
+            "Congo volume% > customers% (20 % → 27 %)",
+            "27 % vs 20 %",
+            format!("{:.1} % vs {:.1} %", cd.1, cd.2),
+            cd.1 > cd.2,
+        ));
+        rows.push(row(
+            "F2",
+            "Spain volume% < customers% (16 % → 10 %)",
+            "10 % vs 16 %",
+            format!("{:.1} % vs {:.1} %", es.1, es.2),
+            es.1 < es.2,
+        ));
         let ratio = cd.3 / es.3.max(1e-9);
-        rows.push(row("F2", "per-customer daily volume, Congo / Spain", "600 MB / 170 MB ≈ 3.5×",
-            format!("{:.0} MB / {:.0} MB ≈ {ratio:.1}×", cd.3, es.3), (1.5..12.0).contains(&ratio)));
+        rows.push(row(
+            "F2",
+            "per-customer daily volume, Congo / Spain",
+            "600 MB / 170 MB ≈ 3.5×",
+            format!("{:.0} MB / {:.0} MB ≈ {ratio:.1}×", cd.3, es.3),
+            (1.5..12.0).contains(&ratio),
+        ));
     }
 
     // ---- Figure 3 ----
     let f3 = experiments::fig3(ds);
     let de_other = f3.share(Country::Germany, L7Protocol::OtherTcp) + f3.share(Country::Germany, L7Protocol::OtherUdp);
-    rows.push(row("F3", "Germany non-web TCP/UDP share (VPNs)", "~35 %", format!("{de_other:.1} %"), (15.0..60.0).contains(&de_other)));
+    rows.push(row(
+        "F3",
+        "Germany non-web TCP/UDP share (VPNs)",
+        "~35 %",
+        format!("{de_other:.1} %"),
+        (15.0..60.0).contains(&de_other),
+    ));
     let ie_http = f3.share(Country::Ireland, L7Protocol::Http);
     let cd_http = f3.share(Country::Congo, L7Protocol::Http);
-    rows.push(row("F3", "plain HTTP higher in Ireland than Congo (Sky/MS)", "higher",
-        format!("{ie_http:.1} % vs {cd_http:.1} %"), ie_http > cd_http));
+    rows.push(row(
+        "F3",
+        "plain HTTP higher in Ireland than Congo (Sky/MS)",
+        "higher",
+        format!("{ie_http:.1} % vs {cd_http:.1} %"),
+        ie_http > cd_http,
+    ));
 
     // ---- Figure 4 ----
     let f4 = experiments::fig4(ds);
@@ -86,36 +130,67 @@ pub fn check_all(ds: &Dataset) -> Vec<CheckRow> {
         let block = |p: &[f64; 24], r: std::ops::Range<usize>| -> f64 { r.map(|h| p[h]).sum() };
         let cd_morning = block(cd, 6..13);
         let cd_evening = block(cd, 16..23);
-        rows.push(row("F4", "Congo: morning block ≥ 90 % of evening block (UTC)", "morning peak at 9:00",
-            format!("{:.2} vs {:.2}", cd_morning / 7.0, cd_evening / 7.0), cd_morning >= 0.85 * cd_evening));
+        rows.push(row(
+            "F4",
+            "Congo: morning block ≥ 90 % of evening block (UTC)",
+            "morning peak at 9:00",
+            format!("{:.2} vs {:.2}", cd_morning / 7.0, cd_evening / 7.0),
+            cd_morning >= 0.85 * cd_evening,
+        ));
         let es_morning = block(es, 6..13);
         let es_evening = block(es, 16..23);
-        rows.push(row("F4", "Spain: evening block above morning block (UTC)", "prime time 18:00–20:00",
-            format!("{:.2} vs {:.2}", es_evening / 7.0, es_morning / 7.0), es_evening > es_morning));
+        rows.push(row(
+            "F4",
+            "Spain: evening block above morning block (UTC)",
+            "prime time 18:00–20:00",
+            format!("{:.2} vs {:.2}", es_evening / 7.0, es_morning / 7.0),
+            es_evening > es_morning,
+        ));
     }
     if let (Some(cd), Some(es)) = (f4.profile(Country::Congo), f4.profile(Country::Spain)) {
         let cd_night: f64 = (1..4).map(|h| cd[h]).sum::<f64>() / 3.0;
         let es_night: f64 = (1..4).map(|h| es[h]).sum::<f64>() / 3.0;
-        rows.push(row("F4", "night floor: Congo vs Spain (fraction of peak)", "~0.4 vs ~0.2",
-            format!("{cd_night:.2} vs {es_night:.2}"), cd_night > es_night));
+        rows.push(row(
+            "F4",
+            "night floor: Congo vs Spain (fraction of peak)",
+            "~0.4 vs ~0.2",
+            format!("{cd_night:.2} vs {es_night:.2}"),
+            cd_night > es_night,
+        ));
     }
 
     // ---- Figure 5 ----
     let f5 = experiments::fig5(ds);
     let es_low = 1.0 - f5.ccdf(Country::Spain, 0, 250.0);
-    rows.push(row("F5a", "Spain customer-days below 250 flows", "> 50 %", format!("{:.0} %", es_low * 100.0), es_low > 0.3));
+    rows.push(row(
+        "F5a",
+        "Spain customer-days below 250 flows",
+        "> 50 %",
+        format!("{:.0} %", es_low * 100.0),
+        es_low > 0.3,
+    ));
     let cd_low = 1.0 - f5.ccdf(Country::Congo, 0, 250.0);
     rows.push(row("F5a", "Congo has no idle knee", "≈ 0 %", format!("{:.0} %", cd_low * 100.0), cd_low < 0.2));
     let tail_ratio = f5.ccdf(Country::Congo, 0, 2500.0) / f5.ccdf(Country::Spain, 0, 2500.0).max(1e-6);
     rows.push(row("F5a", "African flow-count tail vs Europe", "~10×", format!("{tail_ratio:.1}×"), tail_ratio > 2.0));
     let cd_dl = f5.ccdf(Country::Congo, 1, 1e10) * 100.0;
     let es_dl = f5.ccdf(Country::Spain, 1, 1e10) * 100.0;
-    rows.push(row("F5b", "heavy hitters >10 GB/day: Congo vs Spain", "8 % vs 4 %",
-        format!("{cd_dl:.1} % vs {es_dl:.1} %"), cd_dl >= es_dl));
+    rows.push(row(
+        "F5b",
+        "heavy hitters >10 GB/day: Congo vs Spain",
+        "8 % vs 4 %",
+        format!("{cd_dl:.1} % vs {es_dl:.1} %"),
+        cd_dl >= es_dl,
+    ));
     let cd_ul = f5.ccdf(Country::Congo, 2, 1e9) * 100.0;
     let uk_ul = f5.ccdf(Country::Uk, 2, 1e9) * 100.0;
-    rows.push(row("F5c", "upload >1 GB/day: Congo vs U.K.", "10 % vs ≤4 %",
-        format!("{cd_ul:.1} % vs {uk_ul:.1} %"), cd_ul > uk_ul));
+    rows.push(row(
+        "F5c",
+        "upload >1 GB/day: Congo vs U.K.",
+        "10 % vs ≤4 %",
+        format!("{cd_ul:.1} % vs {uk_ul:.1} %"),
+        cd_ul > uk_ul,
+    ));
 
     // ---- Figure 6 ----
     let f6 = experiments::fig6(ds);
@@ -134,27 +209,64 @@ pub fn check_all(ds: &Dataset) -> Vec<CheckRow> {
         }
     }
     let dev_mean = dev_sum / dev_n.max(1) as f64;
-    rows.push(row("F6", "service-popularity matrix: mean |deviation| over 12×6 cells", "0 (calibration input)",
-        format!("{dev_mean:.1} pp (max {dev_max:.1})"), dev_mean < 12.0));
+    rows.push(row(
+        "F6",
+        "service-popularity matrix: mean |deviation| over 12×6 cells",
+        "0 (calibration input)",
+        format!("{dev_mean:.1} pp (max {dev_max:.1})"),
+        dev_mean < 12.0,
+    ));
     if let (Some(wc_cd), Some(wc_es)) = (f6.value("Wechat", Country::Congo), f6.value("Wechat", Country::Spain)) {
-        rows.push(row("F6", "WeChat: Congo ≫ Spain (Chinese community)", "6.4 % vs 0.06 %",
-            format!("{wc_cd:.1} % vs {wc_es:.1} %"), wc_cd > wc_es));
+        rows.push(row(
+            "F6",
+            "WeChat: Congo ≫ Spain (Chinese community)",
+            "6.4 % vs 0.06 %",
+            format!("{wc_cd:.1} % vs {wc_es:.1} %"),
+            wc_cd > wc_es,
+        ));
     }
 
     // ---- Figure 7 ----
     let f7 = experiments::fig7(ds);
-    if let (Some(cd), Some(es)) = (f7.summary(Country::Congo, Category::Chat), f7.summary(Country::Spain, Category::Chat)) {
-        rows.push(row("F7", "daily chat volume median: Congo vs Spain", "250 MB vs <10 MB",
-            format!("{:.0} MB vs {:.1} MB", cd.median, es.median), cd.median > 8.0 * es.median));
-        rows.push(row("F7", "Congo chat p95 (community APs)", "> 2 GB", format!("{:.1} GB", cd.p95 / 1e3), cd.p95 > 800.0));
+    if let (Some(cd), Some(es)) =
+        (f7.summary(Country::Congo, Category::Chat), f7.summary(Country::Spain, Category::Chat))
+    {
+        rows.push(row(
+            "F7",
+            "daily chat volume median: Congo vs Spain",
+            "250 MB vs <10 MB",
+            format!("{:.0} MB vs {:.1} MB", cd.median, es.median),
+            cd.median > 8.0 * es.median,
+        ));
+        rows.push(row(
+            "F7",
+            "Congo chat p95 (community APs)",
+            "> 2 GB",
+            format!("{:.1} GB", cd.p95 / 1e3),
+            cd.p95 > 800.0,
+        ));
     }
-    if let (Some(cd), Some(es)) = (f7.summary(Country::Congo, Category::Social), f7.summary(Country::Spain, Category::Social)) {
-        rows.push(row("F7", "daily social volume median: Congo vs Spain", "300 MB vs 30 MB",
-            format!("{:.0} MB vs {:.0} MB", cd.median, es.median), cd.median > 3.0 * es.median));
+    if let (Some(cd), Some(es)) =
+        (f7.summary(Country::Congo, Category::Social), f7.summary(Country::Spain, Category::Social))
+    {
+        rows.push(row(
+            "F7",
+            "daily social volume median: Congo vs Spain",
+            "300 MB vs 30 MB",
+            format!("{:.0} MB vs {:.0} MB", cd.median, es.median),
+            cd.median > 3.0 * es.median,
+        ));
     }
-    if let (Some(es), Some(cd)) = (f7.summary(Country::Spain, Category::Audio), f7.summary(Country::Congo, Category::Audio)) {
-        rows.push(row("F7", "audio streaming: Europe above Africa", "higher in Europe",
-            format!("{:.1} MB vs {:.1} MB", es.median, cd.median), es.median > cd.median));
+    if let (Some(es), Some(cd)) =
+        (f7.summary(Country::Spain, Category::Audio), f7.summary(Country::Congo, Category::Audio))
+    {
+        rows.push(row(
+            "F7",
+            "audio streaming: Europe above Africa",
+            "higher in Europe",
+            format!("{:.1} MB vs {:.1} MB", es.median, cd.median),
+            es.median > cd.median,
+        ));
     }
 
     // ---- Figure 8a ----
@@ -162,16 +274,29 @@ pub fn check_all(ds: &Dataset) -> Vec<CheckRow> {
     let min_sat = ds.flows.iter().filter_map(|f| f.sat_rtt_ms).fold(f64::INFINITY, f64::min);
     rows.push(row("F8a", "satellite RTT floor", "> 550 ms", format!("{min_sat:.0} ms"), min_sat > 500.0));
     if let Some((_, night, peak)) = f8a.row(Country::Congo) {
-        rows.push(row("F8a", "Congo: RTT samples above 2 s", "~20 %",
+        rows.push(row(
+            "F8a",
+            "Congo: RTT samples above 2 s",
+            "~20 %",
             format!("night {:.0} %, peak {:.0} %", night.ccdf_at(2.0) * 100.0, peak.ccdf_at(2.0) * 100.0),
-            night.ccdf_at(2.0) > 0.05 && peak.ccdf_at(2.0) > 0.05));
-        rows.push(row("F8a", "Congo: peak median ≥ night median", "worsens at peak",
+            night.ccdf_at(2.0) > 0.05 && peak.ccdf_at(2.0) > 0.05,
+        ));
+        rows.push(row(
+            "F8a",
+            "Congo: peak median ≥ night median",
+            "worsens at peak",
             format!("{:.2} s vs {:.2} s", peak.quantile(0.5), night.quantile(0.5)),
-            peak.quantile(0.5) >= 0.95 * night.quantile(0.5)));
+            peak.quantile(0.5) >= 0.95 * night.quantile(0.5),
+        ));
     }
     if let Some((_, night, _)) = f8a.row(Country::Spain) {
-        rows.push(row("F8a", "Spain: samples below 1 s at night", "82 %",
-            format!("{:.0} %", night.at(1.0) * 100.0), night.at(1.0) > 0.7));
+        rows.push(row(
+            "F8a",
+            "Spain: samples below 1 s at night",
+            "82 %",
+            format!("{:.0} %", night.at(1.0) * 100.0),
+            night.at(1.0) > 0.7,
+        ));
     }
     if let Some((_, night, peak)) = f8a.row(Country::Ireland) {
         // The Ireland signature is an *impairment* tail that does not
@@ -181,36 +306,70 @@ pub fn check_all(ds: &Dataset) -> Vec<CheckRow> {
         // the heavy-tail mass night-vs-peak.
         let (tn, tp) = (night.ccdf_at(1.5), peak.ccdf_at(1.5));
         let ratio = (tn / tp.max(1e-6)).max(tp / tn.max(1e-6));
-        rows.push(row("F8a", "Ireland: night tail ≈ peak tail (impairment, not congestion)", "identical",
-            format!("P[>1.5 s] {:.0} % vs {:.0} %", tn * 100.0, tp * 100.0), ratio < 3.0));
-        rows.push(row("F8a", "Ireland: heavy tail regardless of hour", "P[>1.5 s] large",
-            format!("{:.0} %", tn * 100.0), tn > 0.05));
+        rows.push(row(
+            "F8a",
+            "Ireland: night tail ≈ peak tail (impairment, not congestion)",
+            "identical",
+            format!("P[>1.5 s] {:.0} % vs {:.0} %", tn * 100.0, tp * 100.0),
+            ratio < 3.0,
+        ));
+        rows.push(row(
+            "F8a",
+            "Ireland: heavy tail regardless of hour",
+            "P[>1.5 s] large",
+            format!("{:.0} %", tn * 100.0),
+            tn > 0.05,
+        ));
     }
 
     // ---- Figure 8b ----
     let f8b = experiments::fig8b(ds);
     let worst_beam = f8b.rows.iter().max_by(|a, b| a.3.partial_cmp(&b.3).unwrap());
     if let Some(wb) = worst_beam {
-        rows.push(row("F8b", "highest per-beam median RTT on a Congo/Ireland beam", "Congo & Ireland stand out",
-            format!("{} ({})", wb.0, wb.1.name()), matches!(wb.1, Country::Congo | Country::Ireland)));
+        rows.push(row(
+            "F8b",
+            "highest per-beam median RTT on a Congo/Ireland beam",
+            "Congo & Ireland stand out",
+            format!("{} ({})", wb.0, wb.1.name()),
+            matches!(wb.1, Country::Congo | Country::Ireland),
+        ));
     }
     let cd_med = f8b.rows.iter().filter(|r| r.1 == Country::Congo).map(|r| r.3).fold(0.0f64, f64::max);
     let es_med = f8b.rows.iter().filter(|r| r.1 == Country::Spain).map(|r| r.3).fold(0.0f64, f64::max);
-    rows.push(row("F8b", "Congo beams vs Spain beams (median RTT)", "well above",
-        format!("{cd_med:.2} s vs {es_med:.2} s"), cd_med > es_med));
+    rows.push(row(
+        "F8b",
+        "Congo beams vs Spain beams (median RTT)",
+        "well above",
+        format!("{cd_med:.2} s vs {es_med:.2} s"),
+        cd_med > es_med,
+    ));
 
     // ---- Figure 9 ----
     let f9 = experiments::fig9(ds);
     if let (Some(cd), Some(es)) = (f9.row(Country::Congo), f9.row(Country::Spain)) {
-        rows.push(row("F9", "ground RTT median: African ≥ European", "higher in Africa",
-            format!("{:.1} ms vs {:.1} ms", cd.2, es.2), cd.2 >= es.2 * 0.9));
-        rows.push(row("F9", "Congo mass beyond 250 ms (in-country + Chinese services)", "rightmost bumps",
+        rows.push(row(
+            "F9",
+            "ground RTT median: African ≥ European",
+            "higher in Africa",
+            format!("{:.1} ms vs {:.1} ms", cd.2, es.2),
+            cd.2 >= es.2 * 0.9,
+        ));
+        rows.push(row(
+            "F9",
+            "Congo mass beyond 250 ms (in-country + Chinese services)",
+            "rightmost bumps",
             format!("{:.1} % vs {:.1} %", cd.1.ccdf_at(250.0) * 100.0, es.1.ccdf_at(250.0) * 100.0),
-            cd.1.ccdf_at(250.0) > es.1.ccdf_at(250.0)));
+            cd.1.ccdf_at(250.0) > es.1.ccdf_at(250.0),
+        ));
     }
     if let Some(es) = f9.row(Country::Spain) {
-        rows.push(row("F9", "Spain: traffic served within 40 ms of the ground station", "> 80 %",
-            format!("{:.0} %", es.1.at(40.0) * 100.0), es.1.at(40.0) > 0.7));
+        rows.push(row(
+            "F9",
+            "Spain: traffic served within 40 ms of the ground station",
+            "> 80 %",
+            format!("{:.0} %", es.1.at(40.0) * 100.0),
+            es.1.at(40.0) > 0.7,
+        ));
     }
 
     // ---- Figure 10 ----
@@ -230,15 +389,41 @@ pub fn check_all(ds: &Dataset) -> Vec<CheckRow> {
                 continue;
             }
             let pass = (got / paper).max(paper / got) <= 1.6;
-            rows.push(row("F10", format!("{} median response time", r.name()), format!("{paper:.0} ms"), format!("{got:.0} ms"), pass));
+            rows.push(row(
+                "F10",
+                format!("{} median response time", r.name()),
+                format!("{paper:.0} ms"),
+                format!("{got:.0} ms"),
+                pass,
+            ));
         }
     }
-    if let (Some(g_cd), Some(op_ie)) = (f10.share_of(ResolverId::Google, Country::Congo), f10.share_of(ResolverId::OperatorEu, Country::Ireland)) {
-        rows.push(row("F10", "Google DNS share in Congo", "85.7 %", format!("{g_cd:.1} %"), (g_cd - 85.68).abs() < 15.0));
-        rows.push(row("F10", "operator resolver share in Ireland", "43.8 %", format!("{op_ie:.1} %"), (op_ie - 43.75).abs() < 25.0));
+    if let (Some(g_cd), Some(op_ie)) =
+        (f10.share_of(ResolverId::Google, Country::Congo), f10.share_of(ResolverId::OperatorEu, Country::Ireland))
+    {
+        rows.push(row(
+            "F10",
+            "Google DNS share in Congo",
+            "85.7 %",
+            format!("{g_cd:.1} %"),
+            (g_cd - 85.68).abs() < 15.0,
+        ));
+        rows.push(row(
+            "F10",
+            "operator resolver share in Ireland",
+            "43.8 %",
+            format!("{op_ie:.1} %"),
+            (op_ie - 43.75).abs() < 25.0,
+        ));
     }
     if let Some(ng_local) = f10.share_of(ResolverId::Nigerian, Country::Nigeria) {
-        rows.push(row("F10", "Nigerian local resolver share in Nigeria", "11.8 %", format!("{ng_local:.1} %"), (ng_local - 11.84).abs() < 6.0));
+        rows.push(row(
+            "F10",
+            "Nigerian local resolver share in Nigeria",
+            "11.8 %",
+            format!("{ng_local:.1} %"),
+            (ng_local - 11.84).abs() < 6.0,
+        ));
     }
 
     // ---- Table 2 ----
@@ -252,36 +437,60 @@ pub fn check_all(ds: &Dataset) -> Vec<CheckRow> {
     if let Some(op) = op_uk {
         rows.push(row("T2", "apple.com via Operator-EU (U.K.)", "19.1 ms", format!("{op:.1} ms"), op < 40.0));
         if !cn_africa.is_nan() {
-            rows.push(row("T2", "apple.com via 114DNS (Africa) ≫ via Operator (U.K.)", "110.4 ms vs 19.1 ms",
-                format!("{cn_africa:.1} ms vs {op:.1} ms"), cn_africa > 2.0 * op));
+            rows.push(row(
+                "T2",
+                "apple.com via 114DNS (Africa) ≫ via Operator (U.K.)",
+                "110.4 ms vs 19.1 ms",
+                format!("{cn_africa:.1} ms vs {op:.1} ms"),
+                cn_africa > 2.0 * op,
+            ));
         }
     }
     // anycast immunity: nflxvideo served near the GS regardless of resolver
-    let nflx: Vec<f64> = t2
-        .rows
-        .iter()
-        .filter(|(d, ..)| d == "nflxvideo.net")
-        .map(|(_, _, _, rtt, _)| *rtt)
-        .collect();
+    let nflx: Vec<f64> = t2.rows.iter().filter(|(d, ..)| d == "nflxvideo.net").map(|(_, _, _, rtt, _)| *rtt).collect();
     if !nflx.is_empty() {
         let max = nflx.iter().cloned().fold(0.0f64, f64::max);
-        rows.push(row("T2", "nflxvideo.net unaffected by resolver (anycast)", "20–34 ms",
-            format!("max {max:.1} ms across resolvers"), max < 60.0));
+        rows.push(row(
+            "T2",
+            "nflxvideo.net unaffected by resolver (anycast)",
+            "20–34 ms",
+            format!("max {max:.1} ms across resolvers"),
+            max < 60.0,
+        ));
     }
 
     // ---- Figure 11 ----
     let f11 = experiments::fig11(ds);
     if let (Some(es), Some(cd)) = (f11.row(Country::Spain), f11.row(Country::Congo)) {
-        rows.push(row("F11a", "download throughput median: Spain vs Congo", "tens of Mb/s vs <10 Mb/s",
+        rows.push(row(
+            "F11a",
+            "download throughput median: Spain vs Congo",
+            "tens of Mb/s vs <10 Mb/s",
             format!("{:.1} Mb/s vs {:.1} Mb/s", es.1.quantile(0.5), cd.1.quantile(0.5)),
-            es.1.quantile(0.5) > 2.0 * cd.1.quantile(0.5)));
-        rows.push(row("F11a", "Europeans reach plan caps (flows > 25 Mb/s exist)", "knees at 30/50/100",
-            format!("{:.1} % above 25 Mb/s", es.1.ccdf_at(25.0) * 100.0), es.1.ccdf_at(25.0) > 0.05));
-        rows.push(row("F11a", "few African flows beat 25 Mb/s (plans 10/30)", "rare",
-            format!("{:.1} %", cd.1.ccdf_at(25.0) * 100.0), cd.1.ccdf_at(25.0) < 0.08));
+            es.1.quantile(0.5) > 2.0 * cd.1.quantile(0.5),
+        ));
+        rows.push(row(
+            "F11a",
+            "Europeans reach plan caps (flows > 25 Mb/s exist)",
+            "knees at 30/50/100",
+            format!("{:.1} % above 25 Mb/s", es.1.ccdf_at(25.0) * 100.0),
+            es.1.ccdf_at(25.0) > 0.05,
+        ));
+        rows.push(row(
+            "F11a",
+            "few African flows beat 25 Mb/s (plans 10/30)",
+            "rare",
+            format!("{:.1} %", cd.1.ccdf_at(25.0) * 100.0),
+            cd.1.ccdf_at(25.0) < 0.08,
+        ));
         if let (Some(n), Some(p)) = (cd.2, cd.3) {
-            rows.push(row("F11b", "Congo: peak throughput ≤ night throughput", "lower at peak",
-                format!("{:.1} vs {:.1} Mb/s", p.median, n.median), p.median <= n.median * 1.1));
+            rows.push(row(
+                "F11b",
+                "Congo: peak throughput ≤ night throughput",
+                "lower at peak",
+                format!("{:.1} vs {:.1} Mb/s", p.median, n.median),
+                p.median <= n.median * 1.1,
+            ));
         }
     }
 

@@ -6,7 +6,7 @@ use crate::flowsim::NetModel;
 use satwatch_analytics::agg::{BeamInfo, Enrichment};
 use satwatch_internet::{CdnCatalog, ResolverId};
 use satwatch_monitor::anon::CryptoPan;
-use satwatch_monitor::{DnsRecord, FlowRecord, FlowTableConfig, Probe, ProbeConfig};
+use satwatch_monitor::{DnsRecord, FlowRecord, FlowTableConfig, ProbeConfig, ShardedProbe};
 use satwatch_netstack::Packet;
 use satwatch_satcom::channel::default_peak_hour;
 use satwatch_satcom::geo::places;
@@ -14,7 +14,7 @@ use satwatch_satcom::link::{LinkConfig, LinkModel};
 use satwatch_satcom::mac::{Mac, MacConfig};
 use satwatch_satcom::pep::{PepConfig, PepModel};
 use satwatch_satcom::{GroundStation, SatelliteAccess};
-use satwatch_simcore::{EventQueue, SeedTree, SimTime};
+use satwatch_simcore::{ordered_par_map, EventQueue, SeedTree, SimTime};
 use satwatch_traffic::{build_population, catalog::standard_catalog, generate_day, Country, Population};
 
 /// The output of one scenario run: exactly what the paper's analysts
@@ -55,11 +55,8 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
     };
     let gs = GroundStation::italy_default();
     let anon_seed = seeds.rng("anon").next_u64();
-    let probe_cfg = ProbeConfig {
-        anon_seed,
-        ..ProbeConfig::new(FlowTableConfig::new(gs.customer_subnet))
-    };
-    let mut probe = Probe::new(probe_cfg);
+    let probe_cfg = ProbeConfig { anon_seed, ..ProbeConfig::new(FlowTableConfig::new(gs.customer_subnet)) };
+    let mut probe = ShardedProbe::new(probe_cfg, cfg.probe_shards);
 
     // Event loop: StartFlow events expand into packet events; packets
     // pop in global time order and feed the probe.
@@ -73,9 +70,17 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
         // run up to one hour past midnight; later packets are truncated
         // (a negligible tail — flow emission is capped at 20 minutes).
         let mut queue: EventQueue<Event> = EventQueue::new();
-        for (i, customer) in population.customers.iter().enumerate() {
+        // Per-customer intent generation is embarrassingly parallel:
+        // each customer draws from its own `rng_idx("intents", …)`
+        // stream, so no RNG state is shared. Scheduling stays serial,
+        // in customer order, because the event queue breaks time ties
+        // FIFO — the insert order is part of the deterministic output.
+        let per_customer = ordered_par_map(cfg.threads, &population.customers, |i, customer| {
             let mut rng = seeds.rng_idx("intents", day * 1_000_000 + i as u64);
-            for mut intent in generate_day(customer, i, &catalog, day, &mut rng) {
+            generate_day(customer, i, &catalog, day, &mut rng)
+        });
+        for intents in per_customer {
+            for mut intent in intents {
                 if cfg.force_operator_dns {
                     intent.resolver = ResolverId::OperatorEu;
                 }

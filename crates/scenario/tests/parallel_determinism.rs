@@ -1,0 +1,69 @@
+//! The determinism contract of the parallel pipeline (DESIGN.md
+//! "Parallelism & determinism"): one seed fixes the dataset exactly,
+//! and neither the worker-thread count nor the probe shard count may
+//! change a single byte of it. These tests compare full `Dataset`
+//! contents — flows, DNS transactions, and the packet counter — across
+//! configurations, so any ordering leak or lost/duplicated record in
+//! the parallel paths fails loudly.
+
+use satwatch_scenario::{run, Dataset, ScenarioConfig};
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig::tiny().with_customers(25).with_seed(0x5a7_c0de)
+}
+
+/// Full structural equality, with counts first for readable failures.
+fn assert_identical(a: &Dataset, b: &Dataset, what: &str) {
+    assert_eq!(a.packets, b.packets, "{what}: packet counts differ");
+    assert_eq!(a.flows.len(), b.flows.len(), "{what}: flow counts differ");
+    assert_eq!(a.dns.len(), b.dns.len(), "{what}: DNS counts differ");
+    for (i, (x, y)) in a.flows.iter().zip(&b.flows).enumerate() {
+        assert_eq!(x, y, "{what}: flow {i} differs");
+    }
+    for (i, (x, y)) in a.dns.iter().zip(&b.dns).enumerate() {
+        assert_eq!(x, y, "{what}: DNS record {i} differs");
+    }
+}
+
+#[test]
+fn same_seed_same_dataset() {
+    let a = run(base());
+    let b = run(base());
+    assert_identical(&a, &b, "seed repeat");
+    assert!(a.packets > 1_000, "workload is non-trivial: {}", a.packets);
+}
+
+#[test]
+fn thread_count_does_not_change_output() {
+    let serial = run(base());
+    for threads in [2, 4, 0] {
+        let par = run(base().with_threads(threads));
+        assert_identical(&serial, &par, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn shard_count_does_not_change_output() {
+    let inline = run(base());
+    for shards in [2, 4, 0] {
+        let sharded = run(base().with_probe_shards(shards));
+        assert_identical(&inline, &sharded, &format!("shards={shards}"));
+    }
+}
+
+#[test]
+fn fully_parallel_matches_fully_serial() {
+    let serial = run(base().with_days(2));
+    let par = run(base().with_days(2).with_threads(4).with_probe_shards(4));
+    assert_identical(&serial, &par, "threads=4 shards=4");
+}
+
+#[test]
+fn parallelism_composes_with_ablations() {
+    // the what-if knobs reroute traffic and rewrite resolvers — the
+    // determinism contract must hold there too
+    let cfg = base().with_african_ground_station().with_forced_operator_dns();
+    let serial = run(cfg);
+    let par = run(cfg.with_threads(3).with_probe_shards(2));
+    assert_identical(&serial, &par, "ablations + parallel");
+}

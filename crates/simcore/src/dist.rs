@@ -369,12 +369,8 @@ pub fn inverse_std_normal_cdf(p: f64) -> f64 {
         4.374_664_141_464_968,
         2.938_163_982_698_783,
     ];
-    const D: [f64; 4] = [
-        7.784_695_709_041_462e-3,
-        3.224_671_290_700_398e-1,
-        2.445_134_137_142_996,
-        3.754_408_661_907_416,
-    ];
+    const D: [f64; 4] =
+        [7.784_695_709_041_462e-3, 3.224_671_290_700_398e-1, 2.445_134_137_142_996, 3.754_408_661_907_416];
     const P_LOW: f64 = 0.024_25;
     const P_HIGH: f64 = 1.0 - P_LOW;
     if p < P_LOW {

@@ -14,6 +14,10 @@
 //! * [`stats`] — streaming and batch statistics (Welford, quantiles,
 //!   CDF/CCDF, boxplot summaries) used to build the paper's figures.
 //! * [`units`] — data volume and rate newtypes.
+//! * [`par`] — deterministic data parallelism: ordered map / fold over
+//!   `std::thread::scope`, same bytes at any worker count.
+//! * [`fxhash`] — the rustc multiply-xor hasher for hot maps keyed by
+//!   small simulator-generated values (no DoS adversary here).
 //!
 //! The design follows the event-driven, sans-IO ethos of smoltcp: the
 //! engine knows nothing about wall-clock time or sockets; everything
@@ -44,12 +48,16 @@
 
 pub mod dist;
 pub mod event;
+pub mod fxhash;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use event::EventQueue;
+pub use fxhash::{fx_hash_one, fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet};
+pub use par::{available_workers, ordered_par_chunks, ordered_par_fold, ordered_par_map, resolve_workers};
 pub use rng::{Rng, SeedTree};
 pub use time::{SimDuration, SimTime};
 pub use units::{BitRate, Bytes};

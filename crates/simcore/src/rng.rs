@@ -31,12 +31,7 @@ impl Rng {
     /// as recommended by the xoshiro authors).
     pub fn new(seed: u64) -> Rng {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { s }
     }
 

@@ -45,12 +45,20 @@ impl Running {
     }
 
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.mean }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
     }
 
     /// Population variance.
     pub fn variance(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.m2 / self.n as f64 }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
     }
 
     pub fn std_dev(&self) -> f64 {
@@ -58,11 +66,19 @@ impl Running {
     }
 
     pub fn min(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.min }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
     }
 
     pub fn max(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.max }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
     }
 
     /// Merge another accumulator into this one (parallel reduction).
@@ -156,16 +172,12 @@ impl P2Quantile {
         // adjust interior markers with the piecewise-parabolic formula
         for i in 1..4 {
             let d = self.desired[i] - self.pos[i];
-            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
-                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0) || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
             {
                 let d = d.signum();
                 let new = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < new && new < self.heights[i + 1] {
-                    new
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < new && new < self.heights[i + 1] { new } else { self.linear(i, d) };
                 self.pos[i] += d;
             }
         }
@@ -174,8 +186,7 @@ impl P2Quantile {
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (qm, q, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
         let (nm, n, np) = (self.pos[i - 1], self.pos[i], self.pos[i + 1]);
-        q + d / (np - nm)
-            * ((n - nm + d) * (qp - q) / (np - n) + (np - n - d) * (q - qm) / (n - nm))
+        q + d / (np - nm) * ((n - nm + d) * (qp - q) / (np - n) + (np - n - d) * (q - qm) / (n - nm))
     }
 
     fn linear(&self, i: usize, d: f64) -> f64 {
@@ -290,8 +301,7 @@ impl Cdf {
     /// traffic-volume-weighted RTT distribution. Weights must be
     /// non-negative with a positive sum; NaN x values are dropped.
     pub fn from_weighted(samples: &[(f64, f64)]) -> Cdf {
-        let mut v: Vec<(f64, f64)> =
-            samples.iter().copied().filter(|(x, w)| !x.is_nan() && *w > 0.0).collect();
+        let mut v: Vec<(f64, f64)> = samples.iter().copied().filter(|(x, w)| !x.is_nan() && *w > 0.0).collect();
         v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let total: f64 = v.iter().map(|(_, w)| w).sum();
         let mut points = Vec::new();

@@ -192,7 +192,11 @@ impl SimDuration {
     /// that may individually under-run).
     #[inline]
     pub fn max_zero(self) -> SimDuration {
-        if self.nanos < 0 { SimDuration::ZERO } else { self }
+        if self.nanos < 0 {
+            SimDuration::ZERO
+        } else {
+            self
+        }
     }
 
     /// Multiply by a non-negative float factor, rounding to nearest ns.
@@ -284,7 +288,15 @@ impl fmt::Debug for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.as_secs();
         let sub_ms = (self.nanos % NANOS_PER_SEC) / NANOS_PER_MILLI;
-        write!(f, "t+{}d{:02}:{:02}:{:02}.{:03}", s / SECS_PER_DAY, (s % SECS_PER_DAY) / 3600, (s % 3600) / 60, s % 60, sub_ms)
+        write!(
+            f,
+            "t+{}d{:02}:{:02}:{:02}.{:03}",
+            s / SECS_PER_DAY,
+            (s % SECS_PER_DAY) / 3600,
+            (s % 3600) / 60,
+            s % 60,
+            sub_ms
+        )
     }
 }
 

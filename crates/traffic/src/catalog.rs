@@ -53,14 +53,8 @@ impl Category {
     }
 
     /// The six classes of the paper's Fig 6/7.
-    pub const PAPER_SIX: [Category; 6] = [
-        Category::Audio,
-        Category::Chat,
-        Category::Search,
-        Category::Social,
-        Category::Video,
-        Category::Work,
-    ];
+    pub const PAPER_SIX: [Category; 6] =
+        [Category::Audio, Category::Chat, Category::Search, Category::Social, Category::Video, Category::Work];
 }
 
 /// Transport used by one flow of a service.
@@ -344,9 +338,28 @@ mod tests {
     fn table3_services_present() {
         let c = standard_catalog();
         for name in [
-            "Spotify", "Youtube", "Netflix", "Sky", "Primevideo", "Facebook", "Twitter", "Linkedin",
-            "Instagram", "Tiktok", "Google", "Bing", "Yahoo", "Duckduckgo", "Whatsapp", "Telegram",
-            "Snapchat", "Skype", "Wechat", "Office365", "Gsuite", "Dropbox",
+            "Spotify",
+            "Youtube",
+            "Netflix",
+            "Sky",
+            "Primevideo",
+            "Facebook",
+            "Twitter",
+            "Linkedin",
+            "Instagram",
+            "Tiktok",
+            "Google",
+            "Bing",
+            "Yahoo",
+            "Duckduckgo",
+            "Whatsapp",
+            "Telegram",
+            "Snapchat",
+            "Skype",
+            "Wechat",
+            "Office365",
+            "Gsuite",
+            "Dropbox",
         ] {
             assert!(find(&c, name).is_some(), "missing Table 3 service {name}");
         }

@@ -47,14 +47,8 @@ impl Country {
     ];
 
     /// The six countries the paper analyses in depth.
-    pub const TOP6: [Country; 6] = [
-        Country::Congo,
-        Country::Nigeria,
-        Country::SouthAfrica,
-        Country::Ireland,
-        Country::Spain,
-        Country::Uk,
-    ];
+    pub const TOP6: [Country; 6] =
+        [Country::Congo, Country::Nigeria, Country::SouthAfrica, Country::Ireland, Country::Spain, Country::Uk];
 
     pub fn code(self) -> &'static str {
         match self {
@@ -95,10 +89,7 @@ impl Country {
     }
 
     pub fn is_african(self) -> bool {
-        matches!(
-            self,
-            Country::Congo | Country::Nigeria | Country::SouthAfrica | Country::Kenya | Country::Ghana
-        )
+        matches!(self, Country::Congo | Country::Nigeria | Country::SouthAfrica | Country::Kenya | Country::Ghana)
     }
 
     /// Share of the operator's customer base (Fig 2 red line,
@@ -173,7 +164,11 @@ impl Country {
     /// Local hour of the country's traffic peak (Fig 4: Europe
     /// evening prime time, Africa mid-morning).
     pub fn peak_hour_local(self) -> u32 {
-        if self.is_african() { 10 } else { 19 }
+        if self.is_african() {
+            10
+        } else {
+            19
+        }
     }
 
     /// Commercial plan mix: Europe buys faster plans (§6.5: 30/50/100
@@ -208,14 +203,62 @@ impl Country {
     /// Spain/UK/South Africa are healthy.
     pub fn beam_profile(self) -> BeamProfile {
         match self {
-            Country::Congo => BeamProfile { beams: 3, peak_util: 0.93, night_util: 0.60, pep_provisioning: 0.45, extra_impairment: 0.04 },
-            Country::Nigeria => BeamProfile { beams: 3, peak_util: 0.80, night_util: 0.40, pep_provisioning: 0.75, extra_impairment: 0.0 },
-            Country::SouthAfrica => BeamProfile { beams: 2, peak_util: 0.55, night_util: 0.25, pep_provisioning: 1.0, extra_impairment: 0.10 },
-            Country::Ireland => BeamProfile { beams: 1, peak_util: 0.40, night_util: 0.20, pep_provisioning: 1.0, extra_impairment: 0.45 },
-            Country::Spain => BeamProfile { beams: 2, peak_util: 0.45, night_util: 0.15, pep_provisioning: 1.0, extra_impairment: 0.0 },
-            Country::Uk => BeamProfile { beams: 2, peak_util: 0.50, night_util: 0.20, pep_provisioning: 1.0, extra_impairment: 0.08 },
-            Country::Kenya | Country::Ghana => BeamProfile { beams: 1, peak_util: 0.70, night_util: 0.35, pep_provisioning: 0.7, extra_impairment: 0.02 },
-            _ => BeamProfile { beams: 1, peak_util: 0.45, night_util: 0.18, pep_provisioning: 1.0, extra_impairment: 0.02 },
+            Country::Congo => BeamProfile {
+                beams: 3,
+                peak_util: 0.93,
+                night_util: 0.60,
+                pep_provisioning: 0.45,
+                extra_impairment: 0.04,
+            },
+            Country::Nigeria => BeamProfile {
+                beams: 3,
+                peak_util: 0.80,
+                night_util: 0.40,
+                pep_provisioning: 0.75,
+                extra_impairment: 0.0,
+            },
+            Country::SouthAfrica => BeamProfile {
+                beams: 2,
+                peak_util: 0.55,
+                night_util: 0.25,
+                pep_provisioning: 1.0,
+                extra_impairment: 0.10,
+            },
+            Country::Ireland => BeamProfile {
+                beams: 1,
+                peak_util: 0.40,
+                night_util: 0.20,
+                pep_provisioning: 1.0,
+                extra_impairment: 0.45,
+            },
+            Country::Spain => BeamProfile {
+                beams: 2,
+                peak_util: 0.45,
+                night_util: 0.15,
+                pep_provisioning: 1.0,
+                extra_impairment: 0.0,
+            },
+            Country::Uk => BeamProfile {
+                beams: 2,
+                peak_util: 0.50,
+                night_util: 0.20,
+                pep_provisioning: 1.0,
+                extra_impairment: 0.08,
+            },
+            Country::Kenya | Country::Ghana => BeamProfile {
+                beams: 1,
+                peak_util: 0.70,
+                night_util: 0.35,
+                pep_provisioning: 0.7,
+                extra_impairment: 0.02,
+            },
+            _ => BeamProfile {
+                beams: 1,
+                peak_util: 0.45,
+                night_util: 0.18,
+                pep_provisioning: 1.0,
+                extra_impairment: 0.02,
+            },
         }
     }
 
@@ -225,36 +268,75 @@ impl Country {
         use ResolverId::*;
         match self {
             Country::Congo => vec![
-                (OperatorEu, 0.87), (Google, 85.68), (Cloudflare, 3.02), (Nigerian, 0.0),
-                (OpenDns, 1.22), (Level3, 0.45), (Baidu, 0.68), (Dns114, 2.97), (Other, 5.11),
+                (OperatorEu, 0.87),
+                (Google, 85.68),
+                (Cloudflare, 3.02),
+                (Nigerian, 0.0),
+                (OpenDns, 1.22),
+                (Level3, 0.45),
+                (Baidu, 0.68),
+                (Dns114, 2.97),
+                (Other, 5.11),
             ],
             Country::Nigeria => vec![
-                (OperatorEu, 9.10), (Google, 50.69), (Cloudflare, 2.54), (Nigerian, 11.84),
-                (OpenDns, 4.00), (Level3, 7.63), (Baidu, 0.32), (Dns114, 3.43), (Other, 10.46),
+                (OperatorEu, 9.10),
+                (Google, 50.69),
+                (Cloudflare, 2.54),
+                (Nigerian, 11.84),
+                (OpenDns, 4.00),
+                (Level3, 7.63),
+                (Baidu, 0.32),
+                (Dns114, 3.43),
+                (Other, 10.46),
             ],
             Country::SouthAfrica => vec![
-                (OperatorEu, 1.87), (Google, 63.47), (Cloudflare, 10.36), (Nigerian, 6.32),
-                (OpenDns, 0.65), (Level3, 0.09), (Baidu, 0.22), (Dns114, 1.64), (Other, 15.38),
+                (OperatorEu, 1.87),
+                (Google, 63.47),
+                (Cloudflare, 10.36),
+                (Nigerian, 6.32),
+                (OpenDns, 0.65),
+                (Level3, 0.09),
+                (Baidu, 0.22),
+                (Dns114, 1.64),
+                (Other, 15.38),
             ],
             Country::Ireland => vec![
-                (OperatorEu, 43.75), (Google, 38.49), (Cloudflare, 2.03), (Nigerian, 0.0),
-                (OpenDns, 0.49), (Level3, 0.0), (Baidu, 0.12), (Dns114, 0.05), (Other, 15.07),
+                (OperatorEu, 43.75),
+                (Google, 38.49),
+                (Cloudflare, 2.03),
+                (Nigerian, 0.0),
+                (OpenDns, 0.49),
+                (Level3, 0.0),
+                (Baidu, 0.12),
+                (Dns114, 0.05),
+                (Other, 15.07),
             ],
             Country::Spain => vec![
-                (OperatorEu, 28.95), (Google, 61.27), (Cloudflare, 2.05), (Nigerian, 0.0),
-                (OpenDns, 0.72), (Level3, 0.0), (Baidu, 0.11), (Dns114, 0.03), (Other, 6.87),
+                (OperatorEu, 28.95),
+                (Google, 61.27),
+                (Cloudflare, 2.05),
+                (Nigerian, 0.0),
+                (OpenDns, 0.72),
+                (Level3, 0.0),
+                (Baidu, 0.11),
+                (Dns114, 0.03),
+                (Other, 6.87),
             ],
             Country::Uk => vec![
-                (OperatorEu, 38.10), (Google, 34.67), (Cloudflare, 6.04), (Nigerian, 0.0),
-                (OpenDns, 6.97), (Level3, 0.49), (Baidu, 0.05), (Dns114, 0.01), (Other, 13.67),
+                (OperatorEu, 38.10),
+                (Google, 34.67),
+                (Cloudflare, 6.04),
+                (Nigerian, 0.0),
+                (OpenDns, 6.97),
+                (Level3, 0.49),
+                (Baidu, 0.05),
+                (Dns114, 0.01),
+                (Other, 13.67),
             ],
-            c if c.is_african() => vec![
-                (OperatorEu, 5.0), (Google, 70.0), (Cloudflare, 5.0), (OpenDns, 2.0),
-                (Dns114, 2.0), (Other, 16.0),
-            ],
-            _ => vec![
-                (OperatorEu, 35.0), (Google, 45.0), (Cloudflare, 4.0), (OpenDns, 2.0), (Other, 14.0),
-            ],
+            c if c.is_african() => {
+                vec![(OperatorEu, 5.0), (Google, 70.0), (Cloudflare, 5.0), (OpenDns, 2.0), (Dns114, 2.0), (Other, 16.0)]
+            }
+            _ => vec![(OperatorEu, 35.0), (Google, 45.0), (Cloudflare, 4.0), (OpenDns, 2.0), (Other, 14.0)],
         }
     }
 
@@ -269,7 +351,7 @@ impl Country {
             Country::Ireland => 3,
             Country::Spain => 4,
             Country::Uk => 5,
-            Country::Kenya | Country::Ghana => 1,      // Nigeria-like
+            Country::Kenya | Country::Ghana => 1, // Nigeria-like
             Country::Germany | Country::France | Country::Italy | Country::Greece => 4, // Spain-like
         };
         // Fig 6 heatmap, % of customers per day.
@@ -295,21 +377,37 @@ impl Country {
         let african = self.is_african();
         match service_name {
             "Youtube" => {
-                if african { 0.45 } else { 0.55 }
+                if african {
+                    0.45
+                } else {
+                    0.55
+                }
             }
             "Facebook" => {
-                if african { 0.60 } else { 0.45 }
+                if african {
+                    0.60
+                } else {
+                    0.45
+                }
             }
             "Twitter" => 0.18,
             "Linkedin" => {
-                if african { 0.06 } else { 0.12 }
+                if african {
+                    0.06
+                } else {
+                    0.12
+                }
             }
             "Bing" => 0.10,
             "Yahoo" => 0.06,
             "Duckduckgo" => 0.04,
             "Skype" => 0.08,
             "Office365" => {
-                if african { 0.12 } else { 0.25 }
+                if african {
+                    0.12
+                } else {
+                    0.25
+                }
             }
             "Gsuite" => 0.20,
             "MicrosoftUpdate" => {
@@ -330,7 +428,11 @@ impl Country {
             },
             "VoipCall" => 0.22,
             "AppleInfra" => {
-                if african { 0.25 } else { 0.55 }
+                if african {
+                    0.25
+                } else {
+                    0.55
+                }
             }
             "GoogleInfra" => 0.90,
             "CpeTelemetry" => 1.0,
@@ -345,16 +447,32 @@ impl Country {
                 _ => 0.005,
             },
             "ScooperNews" | "Shalltry" => {
-                if african { 0.15 } else { 0.005 }
+                if african {
+                    0.15
+                } else {
+                    0.005
+                }
             }
             "CongoLocal" => {
-                if self == Country::Congo { 0.35 } else { 0.002 }
+                if self == Country::Congo {
+                    0.35
+                } else {
+                    0.002
+                }
             }
             "NigeriaLocal" => {
-                if self == Country::Nigeria { 0.35 } else { 0.002 }
+                if self == Country::Nigeria {
+                    0.35
+                } else {
+                    0.002
+                }
             }
             "SouthAfricaLocal" => {
-                if self == Country::SouthAfrica { 0.35 } else { 0.002 }
+                if self == Country::SouthAfrica {
+                    0.35
+                } else {
+                    0.002
+                }
             }
             _ => 0.05,
         }
@@ -367,27 +485,24 @@ impl Country {
     pub fn category_volume_factor(self, cat: Category) -> f64 {
         let african = self.is_african();
         match cat {
-            Category::Chat
-                if african => {
-                    match self {
-                        Country::Congo => 22.0,
-                        Country::Nigeria => 12.0,
-                        _ => 8.0,
-                    }
-                }
-            Category::Social
-                if african => {
-                    match self {
-                        Country::Congo => 2.0,
-                        Country::Nigeria => 1.5,
-                        _ => 1.2,
-                    }
-                }
+            Category::Chat if african => match self {
+                Country::Congo => 22.0,
+                Country::Nigeria => 12.0,
+                _ => 8.0,
+            },
+            Category::Social if african => match self {
+                Country::Congo => 2.0,
+                Country::Nigeria => 1.5,
+                _ => 1.2,
+            },
             Category::Audio => {
-                if african { 0.15 } else { 2.0 }
+                if african {
+                    0.15
+                } else {
+                    2.0
+                }
             }
-            Category::Video
-                if african => { 0.5 }
+            Category::Video if african => 0.5,
             _ => 1.0,
         }
     }

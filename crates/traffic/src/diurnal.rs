@@ -20,11 +20,7 @@ pub struct DiurnalProfile {
 impl DiurnalProfile {
     /// Build the profile for a country/archetype pair.
     pub fn new(country: Country, archetype: Archetype) -> DiurnalProfile {
-        let mut w = if country.is_african() {
-            african_base()
-        } else {
-            european_base()
-        };
+        let mut w = if country.is_african() { african_base() } else { european_base() };
         if archetype.daytime_biased() {
             // Businesses/cafés concentrate activity into 8:00–18:00.
             for (h, v) in w.iter_mut().enumerate() {
@@ -60,12 +56,7 @@ impl DiurnalProfile {
 
     /// The busiest local hour.
     pub fn peak_hour(&self) -> u32 {
-        self.weights
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(h, _)| h as u32)
-            .unwrap_or(0)
+        self.weights.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(h, _)| h as u32).unwrap_or(0)
     }
 }
 

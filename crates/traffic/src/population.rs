@@ -194,14 +194,10 @@ mod tests {
     #[test]
     fn europe_has_idle_second_homes() {
         let p = pop();
-        let idle_es = p
-            .by_country(Country::Spain)
-            .filter(|c| c.archetype == Archetype::SecondHome)
-            .count() as f64;
+        let idle_es = p.by_country(Country::Spain).filter(|c| c.archetype == Archetype::SecondHome).count() as f64;
         let es_total = p.by_country(Country::Spain).count() as f64;
         assert!(idle_es / es_total > 0.35, "{}", idle_es / es_total);
-        let idle_cd =
-            p.by_country(Country::Congo).filter(|c| c.archetype == Archetype::SecondHome).count() as f64;
+        let idle_cd = p.by_country(Country::Congo).filter(|c| c.archetype == Archetype::SecondHome).count() as f64;
         let cd_total = p.by_country(Country::Congo).count() as f64;
         assert!(idle_cd / cd_total < 0.06);
     }
@@ -222,8 +218,7 @@ mod tests {
     fn african_plans_slower() {
         let p = pop();
         let mean_plan = |country: Country| {
-            let v: Vec<f64> =
-                p.by_country(country).map(|c| c.terminal.plan.down().as_mbps()).collect();
+            let v: Vec<f64> = p.by_country(country).map(|c| c.terminal.plan.down().as_mbps()).collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(mean_plan(Country::Congo) < 0.5 * mean_plan(Country::Uk));

@@ -51,15 +51,10 @@ pub fn generate_day(
     let mut out = Vec::new();
     let day_start = SimTime::from_secs(day * SECS_PER_DAY);
     let tz = customer.country.tz_offset();
-    let pool = if customer.per_flow_resolver {
-        Some(ResolverChoice::for_country(customer.country))
-    } else {
-        None
-    };
+    let pool = if customer.per_flow_resolver { Some(ResolverChoice::for_country(customer.country)) } else { None };
 
     // --- background chatter: everyone, including idle second homes ---
-    let background: Vec<&ServiceSpec> =
-        catalog.iter().filter(|s| s.category == Category::Background).collect();
+    let background: Vec<&ServiceSpec> = catalog.iter().filter(|s| s.category == Category::Background).collect();
     if !background.is_empty() {
         let n = customer.archetype.background_flows_per_day(rng);
         for _ in 0..n {
@@ -77,11 +72,8 @@ pub fn generate_day(
     // Second homes come alive on weekends (day 5/6 of the week): the
     // family drives out and the CPE briefly behaves like a household.
     let weekend = matches!(day % 7, 5 | 6);
-    let weekend_boost = if weekend && customer.archetype == crate::archetype::Archetype::SecondHome {
-        6.0
-    } else {
-        1.0
-    };
+    let weekend_boost =
+        if weekend && customer.archetype == crate::archetype::Archetype::SecondHome { 6.0 } else { 1.0 };
 
     // --- interactive services ---
     for svc in catalog.iter().filter(|s| s.category != Category::Background) {
@@ -97,13 +89,11 @@ pub fn generate_day(
         let count_scale = customer.activity * weekend_boost * factor.powf(0.7);
         let size_scale = factor.powf(0.3);
         let jitter = (-rng.f64_open().ln()).max(0.05); // day-to-day burstiness
-        let n = ((svc.flows_per_day * count_scale * jitter).round() as u64)
-            .clamp(1, MAX_FLOWS_PER_SERVICE_DAY);
+        let n = ((svc.flows_per_day * count_scale * jitter).round() as u64).clamp(1, MAX_FLOWS_PER_SERVICE_DAY);
         for _ in 0..n {
             let local_hour = customer.diurnal.sample_hour(rng);
             let utc_hour = (local_hour as i64 - tz as i64).rem_euclid(24) as u64;
-            let t = day_start
-                + SimDuration::from_secs((utc_hour * 3600 + rng.below(3600)) as i64);
+            let t = day_start + SimDuration::from_secs((utc_hour * 3600 + rng.below(3600)) as i64);
             push_flow(&mut out, customer, customer_index, svc, t, size_scale, pool.as_ref(), rng);
         }
     }
@@ -304,13 +294,8 @@ mod tests {
     fn fig5a_knee_europe_vs_africa_tail() {
         let (pop, all) = one_day_flows(3);
         let counts = |country: Country| -> Vec<usize> {
-            let mut v: Vec<usize> = pop
-                .customers
-                .iter()
-                .zip(&all)
-                .filter(|(c, _)| c.country == country)
-                .map(|(_, f)| f.len())
-                .collect();
+            let mut v: Vec<usize> =
+                pop.customers.iter().zip(&all).filter(|(c, _)| c.country == country).map(|(_, f)| f.len()).collect();
             v.sort_unstable();
             v
         };

@@ -13,8 +13,7 @@
 use satwatch::scenario::{experiments, run, ScenarioConfig};
 
 fn main() {
-    let customers: u32 =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400);
+    let customers: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400);
     let cfg = ScenarioConfig::tiny().with_customers(customers);
 
     eprintln!("baseline run ({customers} customers) …");
@@ -37,5 +36,8 @@ fn main() {
     let with = experiments::ablation_summary(&forced);
     println!("\nA2 ablation: force the operator resolver");
     println!("  median DNS response:     {:>7.1} ms → {:>6.1} ms", base.dns_median_ms, with.dns_median_ms);
-    println!("  median African ground RTT: {:>5.1} ms → {:>6.1} ms", base.african_ground_rtt_ms, with.african_ground_rtt_ms);
+    println!(
+        "  median African ground RTT: {:>5.1} ms → {:>6.1} ms",
+        base.african_ground_rtt_ms, with.african_ground_rtt_ms
+    );
 }

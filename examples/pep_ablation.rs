@@ -13,8 +13,7 @@
 use satwatch::scenario::{experiments, run, ScenarioConfig};
 
 fn main() {
-    let customers: u32 =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(250);
+    let customers: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(250);
     let cfg = ScenarioConfig::tiny().with_customers(customers);
 
     eprintln!("run 1/3: baseline (PEP on, single EU ground station) …");
@@ -33,5 +32,8 @@ fn main() {
         "  median African ground RTT: {:.1} ms (via Italy) vs {:.1} ms (local ground station)",
         base.african_ground_rtt_ms, af_gs.african_ground_rtt_ms
     );
-    println!("  satellite RTT unchanged by routing: {:.0} ms vs {:.0} ms", base.sat_rtt_median_ms, af_gs.sat_rtt_median_ms);
+    println!(
+        "  satellite RTT unchanged by routing: {:.0} ms vs {:.0} ms",
+        base.sat_rtt_median_ms, af_gs.sat_rtt_median_ms
+    );
 }

@@ -39,9 +39,6 @@ fn main() {
         fig8a.row(satwatch::traffic::Country::Spain).map(|(c, n, p)| (c, n, p)),
     ) {
         println!("Satellite RTT CDF at peak time (C = Congo, S = Spain), seconds:");
-        print!(
-            "{}",
-            satwatch::analytics::ascii::cdf_chart(&[('C', congo_peak), ('S', spain_peak)], 0.5, 3.0, 60, 12)
-        );
+        print!("{}", satwatch::analytics::ascii::cdf_chart(&[('C', congo_peak), ('S', spain_peak)], 0.5, 3.0, 60, 12));
     }
 }

@@ -14,12 +14,7 @@ fn a3_pep_accelerates_connection_setup() {
     let no_pep = experiments::ablation_summary(&run(cfg().without_pep()));
     // Without the split-TCP proxy, the TLS time-to-first-byte grows by
     // at least one extra satellite round trip (~0.6 s).
-    assert!(
-        no_pep.ttfb_s > base.ttfb_s + 0.4,
-        "pep {:.2}s vs e2e {:.2}s",
-        base.ttfb_s,
-        no_pep.ttfb_s
-    );
+    assert!(no_pep.ttfb_s > base.ttfb_s + 0.4, "pep {:.2}s vs e2e {:.2}s", base.ttfb_s, no_pep.ttfb_s);
     // The satellite segment itself is untouched.
     assert!((no_pep.sat_rtt_median_ms - base.sat_rtt_median_ms).abs() < 200.0);
 }

@@ -16,9 +16,8 @@ fn every_generated_domain_classifies() {
     for svc in &catalog {
         for _ in 0..100 {
             let d = svc.sample_domain(&mut rng);
-            let (name, cat) = classifier
-                .classify(&d)
-                .unwrap_or_else(|| panic!("{} emitted unclassifiable domain {d}", svc.name));
+            let (name, cat) =
+                classifier.classify(&d).unwrap_or_else(|| panic!("{} emitted unclassifiable domain {d}", svc.name));
             assert_eq!(cat, svc.category, "{d} classified as {name}/{cat:?}");
         }
     }

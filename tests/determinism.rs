@@ -25,11 +25,7 @@ fn different_seeds_diverge_but_shapes_hold() {
     assert_ne!(a.packets, b.packets);
     // the qualitative shape is seed-independent: satellite floor holds
     for ds in [&a, &b] {
-        let min_sat = ds
-            .flows
-            .iter()
-            .filter_map(|f| f.sat_rtt_ms)
-            .fold(f64::INFINITY, f64::min);
+        let min_sat = ds.flows.iter().filter_map(|f| f.sat_rtt_ms).fold(f64::INFINITY, f64::min);
         assert!(min_sat > 450.0, "{min_sat}");
     }
 }

@@ -144,14 +144,8 @@ fn fig8a_satellite_rtt_floor_and_congestion() {
 fn fig8b_congested_beams_stand_out() {
     let f = experiments::fig8b(dataset());
     assert!(f.rows.len() >= 10, "all beams observed");
-    let congo_med: f64 = f
-        .rows
-        .iter()
-        .filter(|r| r.1 == Country::Congo)
-        .map(|r| r.3)
-        .fold(0.0, f64::max);
-    let spain_med: f64 =
-        f.rows.iter().filter(|r| r.1 == Country::Spain).map(|r| r.3).fold(0.0, f64::max);
+    let congo_med: f64 = f.rows.iter().filter(|r| r.1 == Country::Congo).map(|r| r.3).fold(0.0, f64::max);
+    let spain_med: f64 = f.rows.iter().filter(|r| r.1 == Country::Spain).map(|r| r.3).fold(0.0, f64::max);
     assert!(congo_med > spain_med + 0.15, "Congo beams {congo_med} vs Spain {spain_med}");
     // normalised utilization: Congo at 1.0 (the most loaded beams)
     let max_util_country = f.rows.iter().max_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap().1;

@@ -64,12 +64,7 @@ fn flow_log_is_anonymized() {
     let ds = run(ScenarioConfig::tiny().with_customers(40).with_seed(9));
     let gs = satwatch::satcom::GroundStation::italy_default();
     for f in &ds.flows {
-        assert!(
-            !gs.customer_subnet.contains(f.client),
-            "client {} leaked from {}",
-            f.client,
-            gs.customer_subnet
-        );
+        assert!(!gs.customer_subnet.contains(f.client), "client {} leaked from {}", f.client, gs.customer_subnet);
     }
     for d in &ds.dns {
         assert!(!gs.customer_subnet.contains(d.client));

@@ -12,11 +12,7 @@ fn weekend_bump_visible_in_european_volumes() {
     // 7 simulated days: Mon..Sun with day 5/6 the weekend.
     let ds = run(ScenarioConfig::tiny().with_customers(110).with_days(7).with_seed(404));
     let trend = agg::daily_trend(&ds.flows, &ds.enrichment);
-    let spain = trend
-        .iter()
-        .find(|(c, _)| *c == Country::Spain)
-        .map(|(_, v)| v.clone())
-        .expect("spain series");
+    let spain = trend.iter().find(|(c, _)| *c == Country::Spain).map(|(_, v)| v.clone()).expect("spain series");
     assert_eq!(spain.len(), 7);
     let weekday_mean = (spain[1] + spain[2] + spain[3]) as f64 / 3.0;
     let weekend_mean = (spain[5] + spain[6]) as f64 / 2.0;
@@ -42,10 +38,7 @@ fn weekend_bump_visible_in_european_volumes() {
     }
     let weekday_rate = weekday_flows as f64 / 3.0;
     let weekend_rate = weekend_flows as f64 / 2.0;
-    assert!(
-        weekend_rate > 1.10 * weekday_rate,
-        "ES flows/day: weekend {weekend_rate:.0} vs weekday {weekday_rate:.0}"
-    );
+    assert!(weekend_rate > 1.10 * weekday_rate, "ES flows/day: weekend {weekend_rate:.0} vs weekday {weekday_rate:.0}");
 }
 
 #[test]
@@ -53,11 +46,7 @@ fn african_days_are_uniform() {
     // No second-home effect in Congo: weekday ≈ weekend.
     let ds = run(ScenarioConfig::tiny().with_customers(110).with_days(7).with_seed(404));
     let trend = agg::daily_trend(&ds.flows, &ds.enrichment);
-    let congo = trend
-        .iter()
-        .find(|(c, _)| *c == Country::Congo)
-        .map(|(_, v)| v.clone())
-        .expect("congo series");
+    let congo = trend.iter().find(|(c, _)| *c == Country::Congo).map(|(_, v)| v.clone()).expect("congo series");
     let weekday_mean = (congo[1] + congo[2] + congo[3]) as f64 / 3.0;
     let weekend_mean = (congo[5] + congo[6]) as f64 / 2.0;
     let ratio = weekend_mean / weekday_mean.max(1.0);

@@ -11,10 +11,7 @@ use satwatch::simcore::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 fn probe() -> Probe {
-    Probe::new(ProbeConfig::new(FlowTableConfig::new(Subnet::new(
-        Ipv4Addr::new(10, 0, 0, 0),
-        8,
-    ))))
+    Probe::new(ProbeConfig::new(FlowTableConfig::new(Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 8))))
 }
 
 fn client() -> Ipv4Addr {
@@ -30,8 +27,7 @@ fn t(ms: i64) -> SimTime {
 }
 
 fn seg(c2s: bool, seq: u32, flags: TcpFlags, payload: &[u8]) -> Packet {
-    let (src, dst, sp, dp) =
-        if c2s { (client(), server(), 50_001, 443) } else { (server(), client(), 443, 50_001) };
+    let (src, dst, sp, dp) = if c2s { (client(), server(), 50_001, 443) } else { (server(), client(), 443, 50_001) };
     let mut h = TcpHeader::new(sp, dp, flags);
     h.seq = SeqNum(seq);
     Packet::tcp(src, dst, h, Bytes::copy_from_slice(payload))

@@ -68,18 +68,13 @@ fn rain_degrades_rtt_during_storms_only() {
     // a clear instant on the same day, well away from any event
     let clear_sec = (0..86_400u64)
         .step_by(600)
-        .find(|&s| {
-            acc.impairment_at(&b, SimTime::from_secs(day * 86_400 + s)) < 0.05
-        })
+        .find(|&s| acc.impairment_at(&b, SimTime::from_secs(day * 86_400 + s)) < 0.05)
         .expect("some clear-sky minute");
     let clear = SimTime::from_secs(day * 86_400 + clear_sec);
 
     let mean_rtt = |t: SimTime, seed: u64| {
         let mut rng = Rng::new(seed);
-        (0..3_000)
-            .map(|_| acc.segment_rtt(&mut rng, &b, &term, 12, t, false).as_secs_f64())
-            .sum::<f64>()
-            / 3_000.0
+        (0..3_000).map(|_| acc.segment_rtt(&mut rng, &b, &term, 12, t, false).as_secs_f64()).sum::<f64>() / 3_000.0
     };
     let rainy = mean_rtt(mid_storm, 1);
     let dry = mean_rtt(clear, 1);

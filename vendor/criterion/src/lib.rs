@@ -1,0 +1,246 @@
+//! Offline subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of the criterion API its benches use:
+//! [`Criterion`], benchmark groups with [`Throughput`], `iter` /
+//! `iter_batched`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Measurement is a straightforward wall-clock loop — median
+//! of `sample_size` samples, each auto-calibrated to amortise timer
+//! overhead — with a one-line report per benchmark. There is no
+//! statistical regression machinery; the numbers are for relative
+//! comparison within one run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: lets the report show elements/s or bytes/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine
+/// call per setup either way; the variant only exists for API parity.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_bench(name, None, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.throughput, self.parent.sample_size, self.parent.measurement_time, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` does the timing.
+pub struct Bencher {
+    /// Iterations the harness asks for in the current sample.
+    iters: u64,
+    /// Time the routine consumed in the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    pub fn iter_with_large_drop<R>(&mut self, routine: impl FnMut() -> R) {
+        self.iter(routine);
+    }
+}
+
+fn run_bench(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // calibration: one iteration tells us how many fit in a sample
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let sample_budget = (measurement_time / sample_size as u32).max(Duration::from_micros(200));
+    let iters = (sample_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark time is never NaN"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let (lo, hi) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" {:>14}/s", si(n as f64 / (median * 1e-9), "elem")),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" {:>14}/s", si(n as f64 / (median * 1e-9), "B"))
+        }
+    });
+    println!("{name:<44} time: [{} {} {}]{}", fmt_ns(lo), fmt_ns(median), fmt_ns(hi), rate.unwrap_or_default());
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K{unit}", v / 1e3)
+    } else {
+        format!("{v:.1} {unit}")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes --bench (and test filters); a wall-clock
+            // harness has no use for them
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(10));
+        trivial(&mut c);
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("batched", |b| b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput));
+        g.finish();
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+        assert!(si(2.5e9, "elem").contains("G"));
+    }
+}

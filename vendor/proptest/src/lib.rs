@@ -1,0 +1,695 @@
+//! Offline subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro, the
+//! [`strategy::Strategy`] trait with `prop_map`/`boxed`, `any::<T>()`,
+//! range and tuple strategies, a small regex-subset string strategy,
+//! and the `collection`/`option` combinators.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs
+//!   in the assertion message instead of a minimised counterexample.
+//! * **Deterministic.** Each test derives its RNG from the test name,
+//!   so failures reproduce without a persistence file.
+//! * Case count defaults to 64; override with `PROPTEST_CASES`.
+
+use std::marker::PhantomData;
+
+/// Deterministic RNG for sampling (SplitMix64; self-contained so this
+/// crate depends on nothing in the workspace).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // multiply-shift; bias is irrelevant for test-case generation
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, f, reason }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// `prop_filter` adapter (rejection sampling, bounded retries).
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) reason: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?}: no accepted value in 1000 tries", self.reason);
+        }
+    }
+
+    /// Object-safe sampling, for heterogeneous unions.
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<T, S: Strategy<Value = T>> DynStrategy<T> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T {
+            self.sample(rng)
+        }
+    }
+
+    /// A boxed strategy (the `Value` is all that remains of the type).
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// A constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.f64() * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// String strategies from a regex subset: sequences of character
+    /// classes (`[a-z0-9.-]`), escapes (`\.`, `\PC` = printable) and
+    /// literals, each with an optional `{m}` / `{m,n}` repetition.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            match c {
+                ']' => break,
+                '-' => {
+                    // range if between two chars, else literal '-'
+                    match (prev, chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            chars.next();
+                            for x in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(x).expect("valid range"));
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            set.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    set.push(esc);
+                    prev = Some(esc);
+                }
+                _ => {
+                    set.push(c);
+                    prev = Some(c);
+                }
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+
+    fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            spec.push(c);
+        }
+        match spec.split_once(',') {
+            Some((m, n)) => {
+                (m.parse().expect("bad repetition lower bound"), n.parse().expect("bad repetition upper bound"))
+            }
+            None => {
+                let m = spec.parse().expect("bad repetition count");
+                (m, m)
+            }
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        // printable ASCII stands in for `\PC` (any non-control char)
+        let printable: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' => {
+                        let prop = chars.next().expect("\\P needs a property");
+                        assert_eq!(prop, 'C', "only \\PC is supported");
+                        Atom::Class(printable.clone())
+                    }
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut s: Vec<char> = ('a'..='z').collect();
+                        s.extend('A'..='Z');
+                        s.extend('0'..='9');
+                        s.push('_');
+                        Atom::Class(s)
+                    }
+                    lit => Atom::Literal(lit),
+                },
+                '.' => Atom::Class(printable.clone()),
+                lit => Atom::Literal(lit),
+            };
+            let (lo, hi) = parse_repeat(&mut chars);
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match &atom {
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Literal(l) => out.push(*l),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite, roughly symmetric around zero
+        (rng.f64() - 0.5) * 2e9
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).expect("below surrogate range")
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for collection strategies.
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: (usize, usize),
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { element, size: size.bounds() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let (lo, hi) = self.size;
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: (usize, usize),
+    }
+
+    pub fn hash_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size: size.bounds() }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let (lo, hi) = self.size;
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut out = HashSet::with_capacity(n);
+            // retry duplicates so the minimum size is honoured
+            for _ in 0..(20 * n.max(1)) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: (usize, usize),
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.bounds() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let (lo, hi) = self.size;
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut out = BTreeSet::new();
+            for _ in 0..(20 * n.max(1)) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // match real proptest's default 3:1 Some bias
+            if rng.below(4) < 3 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Number of cases per property (`PROPTEST_CASES` overrides).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    }
+
+    /// Deterministic per-test seed from the test's name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, TestRng};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let seed = $crate::test_runner::seed_for(stringify!($name));
+                for case in 0..$crate::test_runner::cases() {
+                    let mut rng = $crate::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    $(
+                        // user patterns may be `ref s` — fine inside a macro
+                        #[allow(clippy::toplevel_ref_arg)]
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1_000 {
+            let v = Strategy::sample(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let f = Strategy::sample(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z0-9][a-z0-9-]{0,11}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            let d = Strategy::sample(&"[a-z]{1,12}\\.[a-z]{2,8}", &mut rng);
+            assert!(d.contains('.'), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn collections_honour_sizes() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = Strategy::sample(&crate::collection::vec(0u8..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = Strategy::sample(&crate::collection::hash_set(any::<u32>(), 3..10), &mut rng);
+            assert!(s.len() >= 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, ref s in "[a-z]{1,3}") {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![(0u8..10).prop_map(|v| v as u32), Just(42u32),];
+        let mut rng = TestRng::new(4);
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!(v < 10 || v == 42);
+            saw_just |= v == 42;
+        }
+        assert!(saw_just);
+    }
+}
