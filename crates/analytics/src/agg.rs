@@ -570,7 +570,7 @@ pub fn table_cdn_selection(
     let mut lookups: FxHashMap<(Ipv4Addr, &str), Vec<(satwatch_simcore::SimTime, ResolverId)>> = FxHashMap::default();
     for d in dns {
         let r = ResolverId::from_address(d.resolver).unwrap_or(ResolverId::Other);
-        lookups.entry((d.client, d.query.as_str())).or_default().push((d.ts, r));
+        lookups.entry((d.client, &*d.query)).or_default().push((d.ts, r));
     }
     for v in lookups.values_mut() {
         v.sort_by_key(|(t, _)| *t);
@@ -700,7 +700,7 @@ mod tests {
             s2c_data_last: None,
             sat_rtt_ms: Some(600.0),
             l7,
-            domain: domain.map(str::to_owned),
+            domain: domain.map(Into::into),
         }
     }
 

@@ -6,6 +6,7 @@
 //! header, or the QUIC Initial's embedded ClientHello — and a protocol
 //! verdict matching the paper's Table 1 taxonomy.
 
+use crate::intern::{Domain, DomainInterner};
 use crate::record::L7Protocol;
 use satwatch_netstack::{http, quic, rtp, tls};
 
@@ -15,7 +16,8 @@ pub struct Dpi {
     is_tcp: bool,
     server_port: u16,
     verdict: Option<L7Protocol>,
-    domain: Option<String>,
+    /// Interned SNI/Host: a shared handle, not a per-flow `String`.
+    domain: Option<Domain>,
     /// TLS handshake records seen on the flow (c2s direction).
     saw_tls_client_hello: bool,
     /// Consecutive RTP-plausible packets (heuristic needs ≥ 2).
@@ -42,20 +44,21 @@ impl Dpi {
     }
 
     /// Inspect one payload-bearing packet. `c2s` is true for
-    /// client→server packets.
-    pub fn inspect(&mut self, payload: &[u8], c2s: bool) {
+    /// client→server packets. Extracted names are interned through
+    /// `names` (owned by the flow table, shared across its flows).
+    pub fn inspect(&mut self, payload: &[u8], c2s: bool, names: &mut DomainInterner) {
         if payload.is_empty() || self.inspected >= INSPECT_CAP {
             return;
         }
         self.inspected += 1;
         if self.is_tcp {
-            self.inspect_tcp(payload, c2s);
+            self.inspect_tcp(payload, c2s, names);
         } else {
-            self.inspect_udp(payload, c2s);
+            self.inspect_udp(payload, c2s, names);
         }
     }
 
-    fn inspect_tcp(&mut self, payload: &[u8], c2s: bool) {
+    fn inspect_tcp(&mut self, payload: &[u8], c2s: bool, names: &mut DomainInterner) {
         if self.verdict == Some(L7Protocol::TlsHttps) && self.domain.is_some() {
             return;
         }
@@ -65,7 +68,7 @@ impl Dpi {
                 if c2s && tls::handshake_type(rec.body) == Some(tls::HandshakeType::ClientHello) {
                     self.saw_tls_client_hello = true;
                     if let Some(sni) = tls::extract_sni(rec.body) {
-                        self.domain = Some(sni);
+                        self.domain = Some(names.intern(&sni));
                     }
                 }
                 self.verdict = Some(L7Protocol::TlsHttps);
@@ -80,7 +83,7 @@ impl Dpi {
         if c2s && http::looks_like_request(payload) {
             self.verdict = Some(L7Protocol::Http);
             if let Some(host) = http::extract_host(payload) {
-                self.domain = Some(host);
+                self.domain = Some(names.intern(&host));
             }
             return;
         }
@@ -89,7 +92,7 @@ impl Dpi {
         }
     }
 
-    fn inspect_udp(&mut self, payload: &[u8], c2s: bool) {
+    fn inspect_udp(&mut self, payload: &[u8], c2s: bool, names: &mut DomainInterner) {
         if self.verdict.is_some() && self.domain.is_some() {
             return;
         }
@@ -102,7 +105,7 @@ impl Dpi {
         if quic::looks_like_quic(payload) {
             if c2s {
                 if let Some(sni) = quic::extract_sni(payload) {
-                    self.domain = Some(sni);
+                    self.domain = Some(names.intern(&sni));
                     self.verdict = Some(L7Protocol::Quic);
                     return;
                 }
@@ -136,6 +139,11 @@ impl Dpi {
     pub fn domain(&self) -> Option<&str> {
         self.domain.as_deref()
     }
+
+    /// The interned domain handle (cheap clone for record building).
+    pub fn domain_handle(&self) -> Option<Domain> {
+        self.domain.clone()
+    }
 }
 
 #[cfg(test)]
@@ -146,8 +154,9 @@ mod tests {
     #[test]
     fn tls_flow_classified_with_sni() {
         let mut d = Dpi::new(true, 443);
-        d.inspect(&tls::client_hello("api.snapchat.com", [0; 32]), true);
-        d.inspect(&tls::server_hello([0; 32]), false);
+        let mut names = DomainInterner::default();
+        d.inspect(&tls::client_hello("api.snapchat.com", [0; 32]), true, &mut names);
+        d.inspect(&tls::server_hello([0; 32]), false, &mut names);
         assert_eq!(d.verdict(), L7Protocol::TlsHttps);
         assert_eq!(d.domain(), Some("api.snapchat.com"));
     }
@@ -155,7 +164,8 @@ mod tests {
     #[test]
     fn http_flow_classified_with_host() {
         let mut d = Dpi::new(true, 80);
-        d.inspect(&satwatch_netstack::http::get_request("cdn.sky.com", "/show.ts", "SkyGo"), true);
+        let mut names = DomainInterner::default();
+        d.inspect(&satwatch_netstack::http::get_request("cdn.sky.com", "/show.ts", "SkyGo"), true, &mut names);
         assert_eq!(d.verdict(), L7Protocol::Http);
         assert_eq!(d.domain(), Some("cdn.sky.com"));
     }
@@ -163,7 +173,8 @@ mod tests {
     #[test]
     fn http_response_only_still_http() {
         let mut d = Dpi::new(true, 80);
-        d.inspect(&satwatch_netstack::http::ok_response(100, "text/html"), false);
+        let mut names = DomainInterner::default();
+        d.inspect(&satwatch_netstack::http::ok_response(100, "text/html"), false, &mut names);
         assert_eq!(d.verdict(), L7Protocol::Http);
         assert_eq!(d.domain(), None);
     }
@@ -171,69 +182,76 @@ mod tests {
     #[test]
     fn unknown_tcp_is_other() {
         let mut d = Dpi::new(true, 8443);
-        d.inspect(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02], true);
-        d.inspect(&[0x00; 40], false);
+        let mut names = DomainInterner::default();
+        d.inspect(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02], true, &mut names);
+        d.inspect(&[0x00; 40], false, &mut names);
         assert_eq!(d.verdict(), L7Protocol::OtherTcp);
     }
 
     #[test]
     fn quic_initial_classified_with_sni() {
         let mut d = Dpi::new(false, 443);
+        let mut names = DomainInterner::default();
         let p = satwatch_netstack::quic::initial_with_sni(&[9; 8], &[1], "www.youtube.com", [7; 32]);
-        d.inspect(&p, true);
+        d.inspect(&p, true, &mut names);
         assert_eq!(d.verdict(), L7Protocol::Quic);
         assert_eq!(d.domain(), Some("www.youtube.com"));
         // subsequent short packets do not change the verdict
-        d.inspect(&satwatch_netstack::quic::short_packet(&[9; 8], 100, 0), false);
+        d.inspect(&satwatch_netstack::quic::short_packet(&[9; 8], 100, 0), false, &mut names);
         assert_eq!(d.verdict(), L7Protocol::Quic);
     }
 
     #[test]
     fn dns_by_port() {
         let mut d = Dpi::new(false, 53);
+        let mut names = DomainInterner::default();
         let q = satwatch_netstack::dns::DnsMessage::query(1, "x.example", satwatch_netstack::dns::RecordType::A);
-        d.inspect(&q.encode(), true);
+        d.inspect(&q.encode(), true, &mut names);
         assert_eq!(d.verdict(), L7Protocol::Dns);
     }
 
     #[test]
     fn rtp_needs_two_consecutive_packets() {
         let mut d = Dpi::new(false, 40_000);
+        let mut names = DomainInterner::default();
         let h =
             satwatch_netstack::rtp::RtpHeader { payload_type: 111, sequence: 1, timestamp: 0, ssrc: 1, marker: false };
-        d.inspect(&h.encode(160, 0), true);
+        d.inspect(&h.encode(160, 0), true, &mut names);
         assert_eq!(d.verdict(), L7Protocol::OtherUdp, "one packet is not enough");
-        d.inspect(&h.encode(160, 0), true);
+        d.inspect(&h.encode(160, 0), true, &mut names);
         assert_eq!(d.verdict(), L7Protocol::Rtp);
     }
 
     #[test]
     fn rtp_streak_resets_on_mismatch() {
         let mut d = Dpi::new(false, 40_000);
+        let mut names = DomainInterner::default();
         let h =
             satwatch_netstack::rtp::RtpHeader { payload_type: 0, sequence: 1, timestamp: 0, ssrc: 1, marker: false };
-        d.inspect(&h.encode(160, 0), true);
-        d.inspect(&[0x01, 0x02, 0x03], true); // garbage breaks the streak
-        d.inspect(&h.encode(160, 0), true);
+        d.inspect(&h.encode(160, 0), true, &mut names);
+        d.inspect(&[0x01, 0x02, 0x03], true, &mut names); // garbage breaks the streak
+        d.inspect(&h.encode(160, 0), true, &mut names);
         assert_eq!(d.verdict(), L7Protocol::OtherUdp);
     }
 
     #[test]
     fn inspection_cap_stops_work() {
         let mut d = Dpi::new(true, 443);
+        let mut names = DomainInterner::default();
         for _ in 0..50 {
-            d.inspect(&[1, 2, 3], true);
+            d.inspect(&[1, 2, 3], true, &mut names);
         }
         assert!(d.inspected <= INSPECT_CAP);
         // a late ClientHello past the cap is not inspected
-        d.inspect(&tls::client_hello("late.example", [0; 32]), true);
+        d.inspect(&tls::client_hello("late.example", [0; 32]), true, &mut names);
         assert_eq!(d.domain(), None);
     }
 
     #[test]
     fn empty_payload_ignored() {
         let mut d = Dpi::new(true, 443);
-        d.inspect(&[], true);
+        let mut names = DomainInterner::default();
+        d.inspect(&[], true, &mut names);
         assert_eq!(d.inspected, 0);
     }
 }

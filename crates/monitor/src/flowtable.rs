@@ -6,6 +6,7 @@
 //! the packet stream, with idle-timeout eviction bounding memory.
 
 use crate::dpi::Dpi;
+use crate::intern::{Domain, DomainInterner};
 use crate::reassembly::StreamReassembler;
 use crate::record::{EarlyPacket, FlowRecord, RttSummary};
 use crate::rtt::{GroundRtt, SatRtt};
@@ -219,6 +220,7 @@ impl FlowState {
     fn into_record(self) -> FlowRecord {
         let ground_rtt = RttSummary::from_running(self.ground.stats());
         let l7 = self.dpi.verdict();
+        let domain = self.dpi.domain_handle();
         // DNS flows on TCP port 53 would be OtherTcp; our DPI verdict
         // already covers UDP/53.
         FlowRecord {
@@ -246,7 +248,7 @@ impl FlowState {
             s2c_data_last: self.s2c_data_last,
             sat_rtt_ms: self.sat.sample_ms(),
             l7,
-            domain: self.dpi.domain().map(str::to_owned),
+            domain,
         }
     }
 }
@@ -259,6 +261,9 @@ pub struct FlowTable {
     /// and this map is touched once per packet.
     flows: FxHashMap<FiveTuple, FlowState>,
     finished: Vec<FlowRecord>,
+    /// Shared intern table for every name the DPI (or the probe's DNS
+    /// log) extracts.
+    names: DomainInterner,
     /// Count of transit packets ignored (neither endpoint a customer).
     pub transit_packets: u64,
 }
@@ -269,7 +274,13 @@ const FLOW_TABLE_PRESIZE: usize = 1_024;
 
 impl FlowTable {
     pub fn new(cfg: FlowTableConfig) -> FlowTable {
-        FlowTable { cfg, flows: fx_map_with_capacity(FLOW_TABLE_PRESIZE), finished: Vec::new(), transit_packets: 0 }
+        FlowTable {
+            cfg,
+            flows: fx_map_with_capacity(FLOW_TABLE_PRESIZE),
+            finished: Vec::new(),
+            names: DomainInterner::new(),
+            transit_packets: 0,
+        }
     }
 
     /// Direction of a packet relative to the customer subnet, or
@@ -326,7 +337,7 @@ impl FlowTable {
             self.process_tcp(t, dir, tcp, &pkt.payload, key);
         } else {
             let flow = self.flows.get_mut(&key).expect("flow just inserted");
-            flow.dpi.inspect(&pkt.payload, dir == Direction::C2s);
+            flow.dpi.inspect(&pkt.payload, dir == Direction::C2s, &mut self.names);
         }
         // Closed TCP flows are finalised immediately (like Tstat).
         if let Some(flow) = self.flows.get(&key) {
@@ -384,10 +395,11 @@ impl FlowTable {
                 }
                 let sat = &mut flow.sat;
                 let dpi = &mut flow.dpi;
+                let names = &mut self.names;
                 for chunk in flow.c2s_stream.insert(tcp.seq, payload) {
                     flow.c2s_inspect.feed(&chunk, |unit| {
                         sat.on_c2s_payload(t, unit);
-                        dpi.inspect(unit, true);
+                        dpi.inspect(unit, true, names);
                     });
                 }
             }
@@ -400,10 +412,11 @@ impl FlowTable {
                 }
                 let sat = &mut flow.sat;
                 let dpi = &mut flow.dpi;
+                let names = &mut self.names;
                 for chunk in flow.s2c_stream.insert(tcp.seq, payload) {
                     flow.s2c_inspect.feed(&chunk, |unit| {
                         sat.on_s2c_payload(t, unit);
-                        dpi.inspect(unit, false);
+                        dpi.inspect(unit, false, names);
                     });
                 }
             }
@@ -443,6 +456,17 @@ impl FlowTable {
 
     pub fn active_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Intern an arbitrary name through the table's shared intern
+    /// table (the probe's DNS log shares handles with the DPI).
+    pub fn intern(&mut self, name: &str) -> Domain {
+        self.names.intern(name)
+    }
+
+    /// Distinct domain names interned so far.
+    pub fn unique_domains(&self) -> usize {
+        self.names.len()
     }
 }
 

@@ -48,6 +48,7 @@
 pub mod anon;
 pub mod dpi;
 pub mod flowtable;
+pub mod intern;
 pub mod pcap;
 pub mod probe;
 pub mod reassembly;
@@ -58,6 +59,7 @@ pub mod sharded;
 
 pub use anon::CryptoPan;
 pub use flowtable::{Direction, FlowTable, FlowTableConfig};
+pub use intern::{Domain, DomainInterner};
 pub use probe::{Probe, ProbeConfig};
 pub use record::{DnsRecord, FlowRecord, L7Protocol, RttSummary};
 pub use sharded::ShardedProbe;

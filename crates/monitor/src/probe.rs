@@ -8,6 +8,7 @@
 
 use crate::anon::CryptoPan;
 use crate::flowtable::{Direction, FlowTable, FlowTableConfig};
+use crate::intern::Domain;
 use crate::record::{DnsRecord, FlowRecord};
 use satwatch_netstack::dns::DnsMessage;
 use satwatch_netstack::{Packet, Transport};
@@ -52,7 +53,7 @@ struct DnsKey {
 
 #[derive(Debug)]
 struct PendingDns {
-    query: String,
+    query: Domain,
     asked_at: SimTime,
 }
 
@@ -136,7 +137,8 @@ impl Probe {
                 return;
             }
             let key = DnsKey { client: pkt.ip.src, resolver: pkt.ip.dst, id: msg.id };
-            let query = msg.question.map(|(n, _)| n).unwrap_or_default();
+            let name = msg.question.map(|(n, _)| n).unwrap_or_default();
+            let query = self.table.intern(&name);
             self.pending_dns.insert(key, PendingDns { query, asked_at: t });
         } else if msg.is_response && udp.src_port == 53 {
             let key = DnsKey { client: pkt.ip.dst, resolver: pkt.ip.src, id: msg.id };
@@ -205,7 +207,7 @@ impl Probe {
         // canonical output order regardless of eviction history
         flows.sort_by_key(flow_sort_key);
         let mut dns = self.dns_log;
-        dns.sort_by_key(dns_sort_key);
+        dns.sort_by(dns_cmp);
         (flows, dns)
     }
 
@@ -223,11 +225,14 @@ pub(crate) fn flow_sort_key(f: &FlowRecord) -> (SimTime, Ipv4Addr, u16, Ipv4Addr
     (f.first, f.client, f.client_port, f.server, f.server_port, f.ip_proto)
 }
 
-/// Canonical output order for DNS records. Records that tie on this
-/// key always share a (client, resolver) pair and therefore a shard,
-/// so a stable sort keeps them in observation order on merge too.
-pub(crate) fn dns_sort_key(d: &DnsRecord) -> (SimTime, Ipv4Addr, Ipv4Addr, String) {
-    (d.ts, d.client, d.resolver, d.query.clone())
+/// Canonical output order for DNS records, as a borrowed-key
+/// comparator: a `sort_by_key` returning an owned tuple would clone
+/// the query name for every comparison. Records that tie on this
+/// order always share a (client, resolver) pair and therefore a
+/// shard, so a stable sort keeps them in observation order on merge
+/// too.
+pub(crate) fn dns_cmp(a: &DnsRecord, b: &DnsRecord) -> std::cmp::Ordering {
+    (a.ts, a.client, a.resolver).cmp(&(b.ts, b.client, b.resolver)).then_with(|| a.query.cmp(&b.query))
 }
 
 #[cfg(test)]
@@ -260,7 +265,7 @@ mod tests {
         let (_flows, dns) = p.finish();
         assert_eq!(dns.len(), 1);
         let d = &dns[0];
-        assert_eq!(d.query, "play.googleapis.com");
+        assert_eq!(&*d.query, "play.googleapis.com");
         assert_eq!(d.resolver, resolver);
         assert!((d.response_ms.unwrap() - 22.0).abs() < 1e-6);
         assert_eq!(d.answers, vec![Ipv4Addr::new(198, 18, 0, 9)]);

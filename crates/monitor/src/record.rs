@@ -7,6 +7,7 @@
 //! the TLS-estimated satellite RTT, and the DPI verdict (protocol +
 //! domain). One [`DnsRecord`] per observed DNS transaction.
 
+pub use crate::intern::Domain;
 use satwatch_simcore::stats::Running;
 use satwatch_simcore::SimTime;
 use std::io::{self, BufRead, Write};
@@ -149,8 +150,9 @@ pub struct FlowRecord {
     /// ClientKeyExchange gap, if the flow completed a TLS handshake.
     pub sat_rtt_ms: Option<f64>,
     pub l7: L7Protocol,
-    /// Domain from SNI (TLS/QUIC) or Host (HTTP).
-    pub domain: Option<String>,
+    /// Domain from SNI (TLS/QUIC) or Host (HTTP). Interned: one
+    /// shared `Arc<str>` per unique name across all records.
+    pub domain: Option<Domain>,
 }
 
 impl FlowRecord {
@@ -182,7 +184,8 @@ pub struct DnsRecord {
     pub client: Ipv4Addr,
     /// Resolver the customer used.
     pub resolver: Ipv4Addr,
-    pub query: String,
+    /// Queried name (interned — see [`Domain`]).
+    pub query: Domain,
     pub ts: SimTime,
     /// Query → response gap at the vantage point, ms. `None` if the
     /// response was never seen (timeout/loss).
@@ -295,7 +298,7 @@ pub fn read_flows<R: BufRead>(r: R) -> io::Result<Vec<FlowRecord>> {
             },
             sat_rtt_ms: if f[25] == "-" { None } else { Some(f[25].parse().map_err(|_| parse_err("sat_rtt"))?) },
             l7: L7Protocol::from_label(f[26]).ok_or_else(|| parse_err("l7"))?,
-            domain: if f[27] == "-" { None } else { Some(f[27].to_string()) },
+            domain: if f[27] == "-" { None } else { Some(Domain::from(f[27])) },
         });
     }
     Ok(out)

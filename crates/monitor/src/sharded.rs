@@ -33,7 +33,7 @@
 //!    flows, and DNS ties always share a shard, so the merged order
 //!    equals the single-probe order.
 
-use crate::probe::{dns_sort_key, flow_sort_key, Probe, ProbeConfig};
+use crate::probe::{dns_cmp, flow_sort_key, Probe, ProbeConfig};
 use crate::record::{DnsRecord, FlowRecord};
 use satwatch_netstack::Packet;
 use satwatch_simcore::{fx_hash_one, resolve_workers, SimDuration, SimTime};
@@ -159,7 +159,7 @@ impl ShardedProbe {
                 // Stable sorts + total/tie-safe keys ⇒ identical bytes
                 // to the single probe (see module docs).
                 flows.sort_by_key(flow_sort_key);
-                dns.sort_by_key(dns_sort_key);
+                dns.sort_by(dns_cmp);
                 (flows, dns)
             }
         }

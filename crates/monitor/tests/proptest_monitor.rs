@@ -106,7 +106,7 @@ proptest! {
             s2c_data_last: Some(SimTime::from_nanos(first_ns + dur_ns)),
             sat_rtt_ms: sat,
             l7: if tcp { L7Protocol::TlsHttps } else { L7Protocol::OtherUdp },
-            domain,
+            domain: domain.map(Into::into),
         };
         let mut buf = Vec::new();
         write_flows(&mut buf, std::slice::from_ref(&rec)).unwrap();

@@ -6,7 +6,7 @@
 //! sane payload type, monotonically increasing sequence numbers.
 
 use crate::ip::ParseError;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 pub const RTP_HEADER_LEN: usize = 12;
 
@@ -21,14 +21,17 @@ pub struct RtpHeader {
 
 impl RtpHeader {
     pub fn encode(&self, payload_len: usize, fill: u8) -> Bytes {
-        let mut b = BytesMut::with_capacity(RTP_HEADER_LEN + payload_len);
-        b.put_u8(0x80); // version 2, no padding/extension/CSRC
-        b.put_u8((u8::from(self.marker) << 7) | (self.payload_type & 0x7f));
-        b.put_u16(self.sequence);
-        b.put_u32(self.timestamp);
-        b.put_u32(self.ssrc);
-        b.put_bytes(fill, payload_len);
-        b.freeze()
+        // Allocate header+payload in one filled block: `vec![0; n]`
+        // comes from `alloc_zeroed` (untouched zero pages for media
+        // payloads megabytes long), where header-then-fill appends
+        // would fault in and write every page.
+        let mut v = vec![fill; RTP_HEADER_LEN + payload_len];
+        v[0] = 0x80; // version 2, no padding/extension/CSRC
+        v[1] = (u8::from(self.marker) << 7) | (self.payload_type & 0x7f);
+        v[2..4].copy_from_slice(&self.sequence.to_be_bytes());
+        v[4..8].copy_from_slice(&self.timestamp.to_be_bytes());
+        v[8..12].copy_from_slice(&self.ssrc.to_be_bytes());
+        Bytes::from(v)
     }
 
     pub fn parse(buf: &[u8]) -> Result<(RtpHeader, usize), ParseError> {

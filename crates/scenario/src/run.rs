@@ -14,7 +14,7 @@ use satwatch_satcom::link::{LinkConfig, LinkModel};
 use satwatch_satcom::mac::{Mac, MacConfig};
 use satwatch_satcom::pep::{PepConfig, PepModel};
 use satwatch_satcom::{GroundStation, SatelliteAccess};
-use satwatch_simcore::{ordered_par_map, EventQueue, SeedTree, SimTime};
+use satwatch_simcore::{ordered_par_map, EventQueue, RunMerge, SeedTree, SimTime};
 use satwatch_traffic::{build_population, catalog::standard_catalog, generate_day, Country, Population};
 
 /// The output of one scenario run: exactly what the paper's analysts
@@ -58,18 +58,19 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
     let probe_cfg = ProbeConfig { anon_seed, ..ProbeConfig::new(FlowTableConfig::new(gs.customer_subnet)) };
     let mut probe = ShardedProbe::new(probe_cfg, cfg.probe_shards);
 
-    // Event loop: StartFlow events expand into packet events; packets
-    // pop in global time order and feed the probe.
-    enum Event {
-        StartFlow(satwatch_traffic::FlowIntent),
-        Packet(Packet),
-    }
-
+    // Event loop: StartFlow intents go through the (small) event-queue
+    // heap; the packets each flow expands into stay in per-flow runs
+    // merged by a tournament tree (`RunMerge`). The merge key `(time,
+    // run_id)` with runs pushed in flow-start order reproduces the old
+    // all-packets-through-the-heap `(at, seq)` order bit for bit — see
+    // DESIGN.md "Run-merge scheduler" — while moving no `Packet` and
+    // recycling every run buffer.
+    let mut merge: RunMerge<Packet> = RunMerge::new();
     for day in 0..cfg.days {
         // One queue per day bounds memory to a day's intents. Flows may
         // run up to one hour past midnight; later packets are truncated
         // (a negligible tail — flow emission is capped at 20 minutes).
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut intents: EventQueue<satwatch_traffic::FlowIntent> = EventQueue::new();
         // Per-customer intent generation is embarrassingly parallel:
         // each customer draws from its own `rng_idx("intents", …)`
         // stream, so no RNG state is shared. Scheduling stays serial,
@@ -79,32 +80,60 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
             let mut rng = seeds.rng_idx("intents", day * 1_000_000 + i as u64);
             generate_day(customer, i, &catalog, day, &mut rng)
         });
-        for intents in per_customer {
-            for mut intent in intents {
+        for day_intents in per_customer {
+            for mut intent in day_intents {
                 if cfg.force_operator_dns {
                     intent.resolver = ResolverId::OperatorEu;
                 }
-                queue.schedule(intent.start, Event::StartFlow(intent));
+                intents.schedule(intent.start, intent);
             }
         }
         let horizon = SimTime::from_secs((day + 1) * satwatch_simcore::time::SECS_PER_DAY + 3_600);
         let mut flow_rng = seeds.rng_idx("flows", day);
-        let mut scratch: Vec<(SimTime, Packet)> = Vec::with_capacity(64);
-        queue.run_until(horizon, |q, t, ev| match ev {
-            Event::StartFlow(intent) => {
+        loop {
+            let ti = intents.peek_time();
+            let tp = merge.peek();
+            // Intents win time ties: in the single-heap formulation all
+            // StartFlow events were scheduled before any packet, so
+            // their sequence numbers were strictly smaller.
+            let start_flow = match (ti, tp) {
+                (Some(ti), Some(tp)) => ti <= tp,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if start_flow {
+                let (t, intent) = intents.pop().expect("peeked intent vanished");
+                if t > horizon {
+                    break;
+                }
                 let customer = &population.customers[intent.customer_index];
                 let beam = population.beam(customer.terminal.beam);
-                scratch.clear();
-                model.simulate_flow(&intent, customer, &catalog, beam, &mut flow_rng, &mut scratch);
-                for (pt, pkt) in scratch.drain(..) {
-                    q.schedule(pt.max(t), Event::Packet(pkt));
+                let mut run = merge.take_buffer();
+                model.simulate_flow(&intent, customer, &catalog, beam, &mut flow_rng, &mut run);
+                // The builder may interleave directions out of time
+                // order and emit pre-start timestamps the heap used to
+                // clamp; normalise, then stable-sort so equal-time
+                // packets keep emission (= old sequence) order.
+                for p in &mut run {
+                    p.0 = p.0.max(t);
                 }
+                run.sort_by_key(|&(pt, _)| pt);
+                merge.push(run);
+            } else {
+                if tp.expect("merge peeked empty") > horizon {
+                    break;
+                }
+                merge
+                    .pop_with(|t, pkt| {
+                        tap(t, pkt);
+                        probe.observe(t, pkt);
+                    })
+                    .expect("peeked packet vanished");
             }
-            Event::Packet(pkt) => {
-                tap(t, &pkt);
-                probe.observe(t, &pkt);
-            }
-        });
+        }
+        // Truncate the post-horizon tail, keeping the buffers.
+        merge.clear();
     }
 
     let packets = probe.packets;

@@ -7,6 +7,8 @@
 //!   [`SimDuration`]) with wall-clock helpers (hour-of-day, local time)
 //!   used by the diurnal traffic models.
 //! * [`event`] — a deterministic event queue with stable tie-breaking.
+//! * [`merge`] — tournament-tree k-way merge over presorted runs, the
+//!   packet scheduler behind the scenario's span port.
 //! * [`rng`] — reproducible xoshiro256** PRNG with hierarchical seed
 //!   derivation, so subsystems have independent streams.
 //! * [`dist`] — the random distributions the workload and channel
@@ -49,6 +51,7 @@
 pub mod dist;
 pub mod event;
 pub mod fxhash;
+pub mod merge;
 pub mod par;
 pub mod rng;
 pub mod stats;
@@ -57,6 +60,7 @@ pub mod units;
 
 pub use event::EventQueue;
 pub use fxhash::{fx_hash_one, fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet};
+pub use merge::RunMerge;
 pub use par::{available_workers, ordered_par_chunks, ordered_par_fold, ordered_par_map, resolve_workers};
 pub use rng::{Rng, SeedTree};
 pub use time::{SimDuration, SimTime};

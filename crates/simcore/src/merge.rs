@@ -1,0 +1,339 @@
+//! Run-merge scheduling: a tournament-tree k-way merge over per-flow
+//! packet runs.
+//!
+//! The scenario's flow synthesizer emits each flow's packets as one
+//! batch (a *run*). Scheduling those packets individually through the
+//! global [`EventQueue`](crate::EventQueue) heap means hundreds of
+//! thousands of ~100-byte events sifting through a binary heap — the
+//! dominant cost of a run once packet synthesis itself is cheap.
+//! Tstat-class span-port pipelines avoid exactly this by merging
+//! presorted streams instead of re-sorting per packet.
+//!
+//! [`RunMerge`] keeps every run in place (one `Vec` per live flow,
+//! recycled through an internal pool) and merges them with a
+//! tournament (selection) tree: an array tournament whose root is the
+//! global winner. Popping the winner advances one cursor and replays
+//! a single leaf-to-root path — `O(log k)` comparisons on 16-byte
+//! keys, no element moves. Internal nodes store the *winner* of each
+//! subtree rather than the classic loser-tree loser: runs are pushed
+//! and retired at arbitrary leaves while the merge is live, and a
+//! non-winner leaf's replay path only sees correct opponents if each
+//! node can name its sibling subtree's winner.
+//!
+//! # Ordering contract
+//!
+//! The merge key is `(SimTime, run_id)` where `run_id` is assigned
+//! monotonically at [`push`](RunMerge::push) time; within a run,
+//! items pop in `Vec` order. DESIGN.md ("Run-merge scheduler") spells
+//! out why this reproduces the event queue's `(at, seq)` FIFO order
+//! exactly when runs are pushed in flow-start order and each run is
+//! stable-sorted by time.
+
+use crate::time::SimTime;
+
+/// Sentinel key: sorts after every real `(time, run_id)` key.
+const EXHAUSTED: (SimTime, u64) = (SimTime::MAX, u64::MAX);
+
+struct Slot<T> {
+    /// Time-sorted items; empty for a free slot.
+    items: Vec<(SimTime, T)>,
+    pos: usize,
+    run_id: u64,
+}
+
+impl<T> Slot<T> {
+    fn key(&self) -> (SimTime, u64) {
+        match self.items.get(self.pos) {
+            Some(&(t, _)) => (t, self.run_id),
+            None => EXHAUSTED,
+        }
+    }
+}
+
+/// A k-way merge of time-sorted runs with tournament-tree selection.
+///
+/// Capacity grows by doubling as live runs accumulate; exhausted
+/// runs return their buffers to an internal pool so a steady-state
+/// merge performs no allocation per run.
+pub struct RunMerge<T> {
+    /// `k` leaf slots, one per (potential) live run.
+    slots: Vec<Slot<T>>,
+    /// Tournament tree over the slots: `tree[n]` (for `1 <= n < k`)
+    /// is the winning slot of the subtree rooted at internal node
+    /// `n`; leaf `i` sits at virtual node `k + i`. `tree[1]` is the
+    /// overall winner; `tree[0]` is unused padding.
+    tree: Vec<usize>,
+    /// Free slot indices.
+    free: Vec<usize>,
+    /// Recycled run buffers, handed back out by [`take_buffer`](Self::take_buffer).
+    pool: Vec<Vec<(SimTime, T)>>,
+    next_run_id: u64,
+    len: usize,
+}
+
+impl<T> RunMerge<T> {
+    pub fn new() -> RunMerge<T> {
+        let k = 4;
+        let mut m = RunMerge {
+            slots: (0..k).map(|_| Slot { items: Vec::new(), pos: 0, run_id: u64::MAX }).collect(),
+            tree: vec![0; k],
+            free: (0..k).rev().collect(),
+            pool: Vec::new(),
+            next_run_id: 0,
+            len: 0,
+        };
+        m.rebuild();
+        m
+    }
+
+    /// Items remaining across all runs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A recycled (or fresh) buffer to build the next run in.
+    pub fn take_buffer(&mut self) -> Vec<(SimTime, T)> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Add a run. `items` must already be sorted by time (stable with
+    /// respect to emission order — equal-time items keep their order).
+    /// Runs pushed earlier win time ties against runs pushed later.
+    pub fn push(&mut self, items: Vec<(SimTime, T)>) {
+        debug_assert!(items.windows(2).all(|w| w[0].0 <= w[1].0), "run not time-sorted");
+        if items.is_empty() {
+            self.recycle(items);
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => self.grow(),
+        };
+        self.len += items.len();
+        self.slots[slot] = Slot { items, pos: 0, run_id: self.next_run_id };
+        self.next_run_id += 1;
+        self.update(slot);
+    }
+
+    /// Timestamp of the next item, if any.
+    pub fn peek(&self) -> Option<SimTime> {
+        let (t, _) = self.slots[self.tree[1]].key();
+        (t != SimTime::MAX).then_some(t)
+    }
+
+    /// Pop the next item, passing it to `f` by reference (items stay
+    /// in their run's buffer; nothing is moved). Returns `None` if the
+    /// merge is empty.
+    pub fn pop_with<R>(&mut self, f: impl FnOnce(SimTime, &T) -> R) -> Option<R> {
+        let slot = self.tree[1];
+        let s = &mut self.slots[slot];
+        let (t, item) = s.items.get(s.pos)?;
+        let out = f(*t, item);
+        s.pos += 1;
+        let exhausted = s.pos == s.items.len();
+        self.len -= 1;
+        if exhausted {
+            // Run exhausted: recycle its buffer and free the slot.
+            let buf = std::mem::take(&mut self.slots[slot].items);
+            self.recycle(buf);
+            self.slots[slot].pos = 0;
+            self.free.push(slot);
+        }
+        self.update(slot);
+        Some(out)
+    }
+
+    /// Drop all remaining items, recycling every buffer. Used at a
+    /// simulation horizon to truncate the tail.
+    pub fn clear(&mut self) {
+        for slot in 0..self.slots.len() {
+            if !self.slots[slot].items.is_empty() {
+                let buf = std::mem::take(&mut self.slots[slot].items);
+                self.recycle(buf);
+                self.slots[slot].pos = 0;
+                self.free.push(slot);
+            }
+        }
+        self.len = 0;
+        self.rebuild();
+    }
+
+    fn recycle(&mut self, mut buf: Vec<(SimTime, T)>) {
+        buf.clear();
+        if self.pool.len() < 64 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Winning slot of the subtree hanging off tree position `node`
+    /// (positions `>= k` are the leaves themselves).
+    #[inline]
+    fn winner_at(&self, node: usize) -> usize {
+        let k = self.slots.len();
+        if node >= k {
+            node - k
+        } else {
+            self.tree[node]
+        }
+    }
+
+    /// Replay the matches on the path from `slot`'s leaf to the root.
+    /// Each node re-reads both children, so this is correct for *any*
+    /// leaf — not just the current winner's — which `push` needs.
+    fn update(&mut self, slot: usize) {
+        let k = self.slots.len();
+        let mut node = (slot + k) / 2;
+        while node >= 1 {
+            let a = self.winner_at(2 * node);
+            let b = self.winner_at(2 * node + 1);
+            self.tree[node] = if self.slots[a].key() <= self.slots[b].key() { a } else { b };
+            node /= 2;
+        }
+    }
+
+    /// Double capacity, returning a fresh free slot.
+    fn grow(&mut self) -> usize {
+        let k = self.slots.len();
+        self.slots.extend((0..k).map(|_| Slot { items: Vec::new(), pos: 0, run_id: u64::MAX }));
+        self.free.extend((k..2 * k).rev());
+        self.tree = vec![0; 2 * k];
+        self.rebuild();
+        self.free.pop().expect("grow produced free slots")
+    }
+
+    /// Rebuild the whole tree bottom-up. `k` stays a power of two so
+    /// the tournament is a complete binary tree: internal nodes are
+    /// `1..k`, and node `n`'s children are `2n` and `2n + 1`.
+    fn rebuild(&mut self) {
+        let k = self.slots.len();
+        for node in (1..k).rev() {
+            let a = self.winner_at(2 * node);
+            let b = self.winner_at(2 * node + 1);
+            self.tree[node] = if self.slots[a].key() <= self.slots[b].key() { a } else { b };
+        }
+    }
+}
+
+impl<T> Default for RunMerge<T> {
+    fn default() -> Self {
+        RunMerge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::EventQueue;
+
+    fn drain<T: Clone>(m: &mut RunMerge<T>) -> Vec<(SimTime, T)> {
+        std::iter::from_fn(|| m.pop_with(|t, v| (t, v.clone()))).collect()
+    }
+
+    #[test]
+    fn merges_two_runs_in_time_order() {
+        let mut m = RunMerge::new();
+        m.push(vec![(SimTime::from_secs(1), "a1"), (SimTime::from_secs(4), "a2")]);
+        m.push(vec![(SimTime::from_secs(2), "b1"), (SimTime::from_secs(3), "b2")]);
+        let order: Vec<&str> = drain(&mut m).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, ["a1", "b1", "b2", "a2"]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn earlier_run_wins_time_ties() {
+        let mut m = RunMerge::new();
+        let t = SimTime::from_secs(5);
+        m.push(vec![(t, "first")]);
+        m.push(vec![(t, "second")]);
+        m.push(vec![(t, "third")]);
+        let order: Vec<&str> = drain(&mut m).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn within_run_order_is_preserved_at_equal_times() {
+        let mut m = RunMerge::new();
+        let t = SimTime::from_secs(1);
+        m.push(vec![(t, 0), (t, 1), (t, 2)]);
+        let order: Vec<i32> = drain(&mut m).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, [0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_runs_are_ignored_and_buffers_recycle() {
+        let mut m: RunMerge<u8> = RunMerge::new();
+        let buf = m.take_buffer();
+        m.push(buf);
+        assert!(m.is_empty());
+        assert_eq!(m.peek(), None);
+        let mut buf = m.take_buffer();
+        buf.push((SimTime::from_secs(1), 7));
+        m.push(buf);
+        assert_eq!(m.peek(), Some(SimTime::from_secs(1)));
+        assert_eq!(drain(&mut m), vec![(SimTime::from_secs(1), 7)]);
+        // the exhausted run's buffer comes back with capacity
+        assert!(m.take_buffer().capacity() > 0);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = RunMerge::new();
+        for i in 0..100u64 {
+            m.push(vec![(SimTime::from_secs(i), i)]);
+        }
+        assert_eq!(m.len(), 100);
+        let order: Vec<u64> = drain(&mut m).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_recycles_everything() {
+        let mut m = RunMerge::new();
+        for i in 0..10u64 {
+            m.push(vec![(SimTime::from_secs(i), i), (SimTime::from_secs(i + 1), i)]);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.peek(), None);
+        // and the merge is still usable afterwards
+        m.push(vec![(SimTime::from_secs(3), 42)]);
+        assert_eq!(drain(&mut m), vec![(SimTime::from_secs(3), 42)]);
+    }
+
+    /// The determinism keystone: interleaved push/pop against the
+    /// `EventQueue` heap must agree item for item, including time
+    /// ties within and across runs.
+    #[test]
+    fn matches_event_queue_order_under_random_interleaving() {
+        let mut rng = Rng::new(0xa11_0c8);
+        for _round in 0..20 {
+            let mut m = RunMerge::new();
+            let mut q = EventQueue::new();
+            let mut expected_pushes = 0usize;
+            for _ in 0..rng.below(40) {
+                // build a sorted run with heavy time collisions
+                let n = rng.below(12) as usize;
+                let mut run: Vec<(SimTime, u32)> =
+                    (0..n).map(|_| (SimTime::from_secs(rng.below(6)), rng.next_u32())).collect();
+                run.sort_by_key(|&(t, _)| t); // stable: equal times keep draw order
+                for &(t, v) in &run {
+                    q.schedule(t, v);
+                }
+                expected_pushes += run.len();
+                m.push(run);
+            }
+            let got = drain(&mut m);
+            let mut want = Vec::new();
+            while let Some((t, v)) = q.pop() {
+                want.push((t, v));
+            }
+            assert_eq!(got.len(), expected_pushes);
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -292,11 +292,24 @@ impl BufMut for BytesMut {
     fn put_slice(&mut self, s: &[u8]) {
         self.buf.extend_from_slice(s);
     }
+
+    fn put_bytes(&mut self, byte: u8, count: usize) {
+        // `Vec::resize` compiles to a memset; the default trait impl
+        // pushes one byte at a time (a capacity check per byte), which
+        // dominated flow synthesis for large filler payloads.
+        let len = self.buf.len();
+        self.buf.resize(len + count, byte);
+    }
 }
 
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, s: &[u8]) {
         self.extend_from_slice(s);
+    }
+
+    fn put_bytes(&mut self, byte: u8, count: usize) {
+        let len = self.len();
+        self.resize(len + count, byte);
     }
 }
 
