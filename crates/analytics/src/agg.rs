@@ -80,6 +80,7 @@ pub fn table1(flows: &[FlowRecord]) -> Table1 {
 
 /// [`table1`] on `workers` threads; identical output at any count.
 pub fn table1_par(flows: &[FlowRecord], workers: usize) -> Table1 {
+    let _span = satwatch_telemetry::span("analytics_table1_us");
     let (by_proto, total) = ordered_par_fold(
         workers,
         flows,
@@ -114,6 +115,7 @@ pub fn fig2(flows: &[FlowRecord], enr: &Enrichment) -> Fig2 {
 
 /// [`fig2`] on `workers` threads; identical output at any count.
 pub fn fig2_par(flows: &[FlowRecord], enr: &Enrichment, workers: usize) -> Fig2 {
+    let _span = satwatch_telemetry::span("analytics_fig2_us");
     let (vol, total) = ordered_par_fold(
         workers,
         flows,
@@ -163,6 +165,7 @@ pub fn fig3(flows: &[FlowRecord], enr: &Enrichment) -> Fig3 {
 
 /// [`fig3`] on `workers` threads; identical output at any count.
 pub fn fig3_par(flows: &[FlowRecord], enr: &Enrichment, workers: usize) -> Fig3 {
+    let _span = satwatch_telemetry::span("analytics_fig3_us");
     let vol = ordered_par_fold(
         workers,
         flows,
@@ -210,6 +213,7 @@ pub fn fig4(flows: &[FlowRecord], enr: &Enrichment) -> Fig4 {
 /// become `f64` at the final normalisation, so the parallel reduce
 /// cannot drift from the serial fold by rounding.
 pub fn fig4_par(flows: &[FlowRecord], enr: &Enrichment, workers: usize) -> Fig4 {
+    let _span = satwatch_telemetry::span("analytics_fig4_us");
     let by_hour = ordered_par_fold(
         workers,
         flows,
@@ -283,6 +287,7 @@ pub fn customer_days_par(
     classifier: &Classifier,
     workers: usize,
 ) -> FxHashMap<(Ipv4Addr, u64), CustomerDay> {
+    let _span = satwatch_telemetry::span("analytics_customer_days_us");
     ordered_par_fold(
         workers,
         flows,
@@ -481,6 +486,7 @@ pub fn fig10(dns: &[DnsRecord], enr: &Enrichment, countries: &[Country]) -> Fig1
 /// Response-time vectors concatenate in chunk order, reproducing the
 /// serial observation order before the final sort.
 pub fn fig10_par(dns: &[DnsRecord], enr: &Enrichment, countries: &[Country], workers: usize) -> Fig10 {
+    let _span = satwatch_telemetry::span("analytics_fig10_us");
     let resolvers: Vec<ResolverId> = vec![
         ResolverId::OperatorEu,
         ResolverId::Google,

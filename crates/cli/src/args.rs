@@ -38,7 +38,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option keys that are boolean flags (no value).
-const FLAGS: &[&str] = &["no-pep", "african-gs", "force-operator-dns", "smoke", "help"];
+const FLAGS: &[&str] = &["no-pep", "african-gs", "force-operator-dns", "smoke", "help", "no-metrics"];
 
 impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {

@@ -47,13 +47,40 @@ scenario options (all commands):
                           output is bit-identical at any value)
   --no-pep               disable the split-TCP PEP (A3)
   --african-gs           add an African ground station (A1)
-  --force-operator-dns   force the operator resolver (A2)";
+  --force-operator-dns   force the operator resolver (A2)
+
+observability (all commands):
+  --metrics-out FILE     write the final telemetry snapshot on exit
+                         (JSON; a .prom/.txt extension selects the
+                          Prometheus text exposition format)
+  --metrics-interval MS  print a one-line live ticker to stderr every
+                         MS milliseconds while the command runs
+  --no-metrics           disable all telemetry recording (the output
+                         artifacts are byte-identical either way)";
 
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
     if args.flag("help") || args.command == "help" {
         println!("{USAGE}");
         return Ok(());
     }
+    // Observability wrapper: an optional live ticker for the duration
+    // of the command, and an optional snapshot written on the way out
+    // (also on error — a failed run's metrics are the interesting ones).
+    if args.flag("no-metrics") {
+        satwatch_telemetry::set_enabled(false);
+    }
+    let interval_ms = args.get_parsed("metrics-interval", 0u64)?;
+    let ticker =
+        (interval_ms > 0).then(|| satwatch_telemetry::Ticker::start(std::time::Duration::from_millis(interval_ms)));
+    let result = run_command(args);
+    drop(ticker);
+    if let Some(path) = args.get("metrics-out") {
+        write_metrics(path)?;
+    }
+    result
+}
+
+fn run_command(args: &Args) -> Result<(), Box<dyn Error>> {
     match args.command.as_str() {
         "simulate" => simulate(args),
         "replay" => replay(args),
@@ -71,13 +98,35 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
     }
 }
 
+/// Write the current telemetry snapshot to `path`. The extension
+/// picks the format: `.prom`/`.txt` → Prometheus text exposition,
+/// anything else → JSON.
+fn write_metrics(path: &str) -> Result<(), Box<dyn Error>> {
+    let snap = satwatch_telemetry::Snapshot::take();
+    let prometheus = Path::new(path).extension().is_some_and(|e| e == "prom" || e == "txt");
+    let text = if prometheus { snap.to_prometheus() } else { snap.to_json() };
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, text)?;
+    eprintln!("wrote telemetry snapshot to {path}");
+    Ok(())
+}
+
 fn scenario_from(args: &Args) -> Result<ScenarioConfig, Box<dyn Error>> {
+    // `0` auto-detects one worker per core; oversubscription (more
+    // workers than cores) warns and raises the
+    // `par_threads_oversubscribed` gauge but is honoured.
+    let threads = satwatch_simcore::resolve_workers_or_warn(args.get_parsed("threads", 1usize)?, "threads");
+    let shards = satwatch_simcore::resolve_workers_or_warn(args.get_parsed("shards", 1usize)?, "shards");
     let mut cfg = ScenarioConfig::tiny()
         .with_customers(args.get_parsed("customers", 300u32)?)
         .with_days(args.get_parsed("days", 1u64)?)
         .with_seed(args.get_parsed("seed", 42u64)?)
-        .with_threads(args.get_parsed("threads", 1usize)?)
-        .with_probe_shards(args.get_parsed("shards", 1usize)?);
+        .with_threads(threads)
+        .with_probe_shards(shards);
     if args.flag("no-pep") {
         cfg = cfg.without_pep();
     }
@@ -357,7 +406,10 @@ fn paper_check(args: &Args) -> Result<(), Box<dyn Error>> {
 /// the parallel aggregations) at 1/2/4/8 workers and write a
 /// machine-readable summary. The JSON is hand-rolled — the offline
 /// crate set has no serde — but the schema is stable:
-/// `{workload, runs: [{workers, wall_ms, packets, packets_per_sec, flows}]}`.
+/// `{workload, cores, peak_rss_bytes, runs: [{workers, wall_ms, …,
+/// digest, metrics}]}`. Each run carries the dataset digest (all runs
+/// must agree — the determinism contract) and the telemetry snapshot
+/// delta covering exactly that run.
 fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
     let smoke = args.flag("smoke");
     let base = if smoke {
@@ -368,39 +420,49 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
         scenario_from(args)?
     };
     let out_path = args.get("out").unwrap_or("BENCH_parallel.json");
-    let cores = satwatch_simcore::available_workers().max(1);
+    let cores = satwatch_simcore::available_parallelism().max(1);
     let worker_counts: Vec<usize> =
         if smoke { vec![1] } else { [1usize, 2, 4, 8].iter().copied().filter(|&w| w <= cores * 2).collect() };
     let workload = format!("{} customers x {} day(s), seed {}", base.customers, base.days, base.seed);
     eprintln!("benchmarking {workload} at {worker_counts:?} workers …");
     let mut runs = Vec::new();
-    let mut reference: Option<(usize, u64)> = None;
+    let mut reference: Option<u64> = None;
     for &w in &worker_counts {
-        let cfg = base.with_threads(w).with_probe_shards(w);
+        // The shared resolver warns (and raises the telemetry gauge)
+        // when a count exceeds the cores the runner actually has —
+        // such rows time contention, not scaling — and the JSON flag
+        // is derived from the same comparison.
+        let resolved = satwatch_simcore::resolve_workers_or_warn(w, "workers");
+        let oversubscribed = resolved > cores;
+        let cfg = base.with_threads(resolved).with_probe_shards(resolved);
+        let before = satwatch_telemetry::Snapshot::take();
         let t0 = std::time::Instant::now();
         let ds = run(cfg);
         let scenario_s = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let t1r = satwatch_analytics::agg::table1_par(&ds.flows, w);
-        let f2r = satwatch_analytics::agg::fig2_par(&ds.flows, &ds.enrichment, w);
+        let t1r = satwatch_analytics::agg::table1_par(&ds.flows, resolved);
+        let f2r = satwatch_analytics::agg::fig2_par(&ds.flows, &ds.enrichment, resolved);
         let agg_s = t1.elapsed().as_secs_f64();
         std::hint::black_box((&t1r, &f2r));
+        let metrics = satwatch_telemetry::Snapshot::take().delta(&before);
         let wall_s = scenario_s + agg_s;
-        // cross-check: every worker count must see the identical dataset
+        // cross-check: every worker count must produce the
+        // byte-identical dataset
+        let digest = satwatch_scenario::dataset_digest(&ds);
         match reference {
-            None => reference = Some((ds.flows.len(), ds.packets)),
-            Some(r) => assert_eq!(r, (ds.flows.len(), ds.packets), "worker count changed the dataset"),
+            None => reference = Some(digest),
+            Some(r) => assert_eq!(r, digest, "worker count changed the dataset"),
         }
         let pps = ds.packets as f64 / scenario_s;
         eprintln!("  workers={w}: {:.2}s scenario + {:.3}s analytics, {:.0} packets/s", scenario_s, agg_s, pps);
-        // Flag rows where the requested workers exceed the cores the
-        // runner actually has — their timings measure contention, not
-        // scaling (e.g. 2 workers slower than 1 on a 1-CPU box).
-        let oversubscribed = if w > cores { ", \"oversubscribed\": true" } else { "" };
+        let flags = if oversubscribed { ", \"oversubscribed\": true" } else { "" };
+        // the snapshot delta is already JSON; re-indent to nest it
+        let metrics_json = metrics.to_json().trim_end().replace('\n', "\n    ");
         runs.push(format!(
             concat!(
                 "    {{\"workers\": {}, \"wall_ms\": {:.1}, \"scenario_ms\": {:.1}, ",
-                "\"analytics_ms\": {:.1}, \"packets\": {}, \"packets_per_sec\": {:.0}, \"flows\": {}{}}}"
+                "\"analytics_ms\": {:.1}, \"packets\": {}, \"packets_per_sec\": {:.0}, ",
+                "\"flows\": {}, \"digest\": \"{:#018x}\"{},\n    \"metrics\": {}}}"
             ),
             w,
             wall_s * 1e3,
@@ -409,11 +471,14 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
             ds.packets,
             pps,
             ds.flows.len(),
-            oversubscribed
+            digest,
+            flags,
+            metrics_json
         ));
     }
+    let peak_rss = satwatch_telemetry::peak_rss_bytes().map_or("null".to_string(), |b| b.to_string());
     let json = format!(
-        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {cores},\n  \"peak_rss_bytes\": {peak_rss},\n  \"runs\": [\n{}\n  ]\n}}\n",
         runs.join(",\n")
     );
     fs::write(out_path, &json)?;
@@ -531,6 +596,43 @@ mod tests {
         // and the logs replay into the same Table 1
         let r = parse(&["replay", "--logs", &dir_s, "--figure", "table1"]);
         dispatch(&r).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_out_writes_snapshot_in_both_formats() {
+        let dir = std::env::temp_dir().join(format!("satwatch-metrics-test-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        let json_path = dir.join("metrics.json");
+        let a = parse(&[
+            "simulate",
+            "--customers",
+            "8",
+            "--seed",
+            "5",
+            "--out",
+            &dir_s,
+            "--metrics-out",
+            json_path.to_str().unwrap(),
+        ]);
+        dispatch(&a).unwrap();
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"scenario_packets_total\""), "snapshot has pipeline counters");
+        let prom_path = dir.join("metrics.prom");
+        let p = parse(&[
+            "simulate",
+            "--customers",
+            "8",
+            "--seed",
+            "5",
+            "--out",
+            &dir_s,
+            "--metrics-out",
+            prom_path.to_str().unwrap(),
+        ]);
+        dispatch(&p).unwrap();
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.lines().any(|l| l.starts_with("scenario_packets_total ")), "Prometheus exposition rows");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,6 +13,47 @@ use crate::rtt::{GroundRtt, SatRtt};
 use satwatch_netstack::ip::proto;
 use satwatch_netstack::{FiveTuple, Packet, Subnet, TcpHeader, Transport};
 use satwatch_simcore::{fx_map_with_capacity, FxHashMap, SimDuration, SimTime};
+use std::sync::OnceLock;
+
+/// Telemetry handles, shared by every flow table (all shards report
+/// into the same instruments; the sharded gauges sum correctly because
+/// each table only adds/subtracts its own flows). Write-only: the
+/// table never reads these back, so recording cannot perturb output.
+struct Metrics {
+    live_flows: &'static satwatch_telemetry::Gauge,
+    evictions: &'static satwatch_telemetry::Counter,
+    transit: &'static satwatch_telemetry::Counter,
+    /// One counter per DPI verdict, indexed by [`verdict_index`].
+    verdicts: [&'static satwatch_telemetry::Counter; 7],
+}
+
+fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| {
+        use crate::record::L7Protocol as P;
+        let v = |p: P| satwatch_telemetry::counter_with("monitor_dpi_verdicts_total", &[("l7", p.label())]);
+        Metrics {
+            live_flows: satwatch_telemetry::gauge("monitor_flowtable_flows"),
+            evictions: satwatch_telemetry::counter("monitor_flowtable_evictions_total"),
+            transit: satwatch_telemetry::counter("monitor_transit_packets_total"),
+            verdicts: [v(P::TlsHttps), v(P::Http), v(P::Quic), v(P::Dns), v(P::Rtp), v(P::OtherTcp), v(P::OtherUdp)],
+        }
+    })
+}
+
+/// Index into [`Metrics::verdicts`] for a DPI verdict.
+fn verdict_index(l7: crate::record::L7Protocol) -> usize {
+    use crate::record::L7Protocol as P;
+    match l7 {
+        P::TlsHttps => 0,
+        P::Http => 1,
+        P::Quic => 2,
+        P::Dns => 3,
+        P::Rtp => 4,
+        P::OtherTcp => 5,
+        P::OtherUdp => 6,
+    }
+}
 
 /// Flow-table configuration.
 #[derive(Clone, Copy, Debug)]
@@ -220,6 +261,7 @@ impl FlowState {
     fn into_record(self) -> FlowRecord {
         let ground_rtt = RttSummary::from_running(self.ground.stats());
         let l7 = self.dpi.verdict();
+        metrics().verdicts[verdict_index(l7)].inc();
         let domain = self.dpi.domain_handle();
         // DNS flows on TCP port 53 would be OtherTcp; our DPI verdict
         // already covers UDP/53.
@@ -299,6 +341,7 @@ impl FlowTable {
     pub fn process(&mut self, t: SimTime, pkt: &Packet) {
         let Some(dir) = self.direction(pkt) else {
             self.transit_packets += 1;
+            metrics().transit.inc();
             return;
         };
         let key = match dir {
@@ -306,7 +349,11 @@ impl FlowTable {
             Direction::S2c => pkt.five_tuple().reversed(),
         };
         let early_cap = self.cfg.early_packets;
-        let flow = self.flows.entry(key).or_insert_with(|| FlowState::new(key, t));
+        let mut inserted = false;
+        let flow = self.flows.entry(key).or_insert_with(|| {
+            inserted = true;
+            FlowState::new(key, t)
+        });
         flow.last = flow.last.max(t);
         let wire = pkt.wire_len() as u64;
         let payload = pkt.payload_len() as u64;
@@ -333,6 +380,9 @@ impl FlowTable {
                 c2s: dir == Direction::C2s,
             });
         }
+        if inserted {
+            metrics().live_flows.inc();
+        }
         if let Transport::Tcp(tcp) = &pkt.transport {
             self.process_tcp(t, dir, tcp, &pkt.payload, key);
         } else {
@@ -343,6 +393,7 @@ impl FlowTable {
         if let Some(flow) = self.flows.get(&key) {
             if flow.closed() {
                 let flow = self.flows.remove(&key).expect("flow present");
+                metrics().live_flows.dec();
                 self.finished.push(flow.into_record());
             }
         }
@@ -433,6 +484,9 @@ impl FlowTable {
         expired.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port, k.protocol));
         for k in expired {
             let flow = self.flows.remove(&k).expect("expired flow present");
+            let m = metrics();
+            m.live_flows.dec();
+            m.evictions.inc();
             self.finished.push(flow.into_record());
         }
     }
@@ -444,6 +498,7 @@ impl FlowTable {
         keys.sort_by_key(|k| (self.flows[k].first, k.src, k.src_port, k.dst, k.dst_port, k.protocol));
         for k in keys {
             let flow = self.flows.remove(&k).expect("flow present");
+            metrics().live_flows.dec();
             self.finished.push(flow.into_record());
         }
         std::mem::take(&mut self.finished)

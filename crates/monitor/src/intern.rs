@@ -37,6 +37,13 @@ impl DomainInterner {
         if let Some(d) = self.set.get(name) {
             return d.clone();
         }
+        // miss: a name no interner instance has admitted before *on
+        // this shard*; the gauge sums distinct names across shards.
+        {
+            use std::sync::OnceLock;
+            static G: OnceLock<&'static satwatch_telemetry::Gauge> = OnceLock::new();
+            G.get_or_init(|| satwatch_telemetry::gauge("monitor_interner_domains")).inc();
+        }
         let d: Domain = Arc::from(name);
         self.set.insert(d.clone());
         d

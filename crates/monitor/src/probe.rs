@@ -14,6 +14,28 @@ use satwatch_netstack::dns::DnsMessage;
 use satwatch_netstack::{Packet, Transport};
 use satwatch_simcore::{fx_map_with_capacity, FxHashMap, SimDuration, SimTime};
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Telemetry handles shared by every probe instance (shards included —
+/// the counters sum across them). Write-only on the packet path.
+struct Metrics {
+    packets: &'static satwatch_telemetry::Counter,
+    parse_errors: &'static satwatch_telemetry::Counter,
+    dns_answered: &'static satwatch_telemetry::Counter,
+    dns_timeouts: &'static satwatch_telemetry::Counter,
+    pending_dns: &'static satwatch_telemetry::Gauge,
+}
+
+fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        packets: satwatch_telemetry::counter("monitor_packets_total"),
+        parse_errors: satwatch_telemetry::counter("monitor_parse_errors_total"),
+        dns_answered: satwatch_telemetry::counter("monitor_dns_answered_total"),
+        dns_timeouts: satwatch_telemetry::counter("monitor_dns_timeouts_total"),
+        pending_dns: satwatch_telemetry::gauge("monitor_dns_pending"),
+    })
+}
 
 /// Probe configuration.
 #[derive(Clone, Copy, Debug)]
@@ -101,6 +123,7 @@ impl Probe {
     /// (a shard seeing few packets must not sweep late).
     pub fn process_packet(&mut self, t: SimTime, pkt: &Packet) {
         self.packets += 1;
+        metrics().packets.inc();
         self.table.process(t, pkt);
         self.maybe_log_dns(t, pkt);
     }
@@ -121,6 +144,9 @@ impl Probe {
             Err(_) => {
                 self.packets += 1;
                 self.parse_errors += 1;
+                let m = metrics();
+                m.packets.inc();
+                m.parse_errors.inc();
             }
         }
     }
@@ -139,10 +165,15 @@ impl Probe {
             let key = DnsKey { client: pkt.ip.src, resolver: pkt.ip.dst, id: msg.id };
             let name = msg.question.map(|(n, _)| n).unwrap_or_default();
             let query = self.table.intern(&name);
-            self.pending_dns.insert(key, PendingDns { query, asked_at: t });
+            if self.pending_dns.insert(key, PendingDns { query, asked_at: t }).is_none() {
+                metrics().pending_dns.inc();
+            }
         } else if msg.is_response && udp.src_port == 53 {
             let key = DnsKey { client: pkt.ip.dst, resolver: pkt.ip.src, id: msg.id };
             if let Some(pending) = self.pending_dns.remove(&key) {
+                let m = metrics();
+                m.dns_answered.inc();
+                m.pending_dns.dec();
                 let answers = msg
                     .answers
                     .iter()
@@ -172,6 +203,9 @@ impl Probe {
         });
         for k in expired {
             let p = self.pending_dns.remove(&k).expect("expired entry present");
+            let m = metrics();
+            m.dns_timeouts.inc();
+            m.pending_dns.dec();
             self.dns_log.push(DnsRecord {
                 client: self.anon.anonymize(k.client),
                 resolver: k.resolver,
@@ -191,6 +225,9 @@ impl Probe {
         let mut pending: Vec<(DnsKey, PendingDns)> = std::mem::take(&mut self.pending_dns).into_iter().collect();
         pending.sort_by_key(|a| (a.1.asked_at, a.0.client, a.0.id));
         for (k, p) in pending {
+            let m = metrics();
+            m.dns_timeouts.inc();
+            m.pending_dns.dec();
             self.dns_log.push(DnsRecord {
                 client: self.anon.anonymize(k.client),
                 resolver: k.resolver,

@@ -20,6 +20,19 @@
 use bytes::Bytes;
 use satwatch_netstack::SeqNum;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Out-of-order bytes currently buffered across *all* live
+/// reassemblers (every direction of every tracked flow, all shards).
+fn pending_gauge() -> &'static satwatch_telemetry::Gauge {
+    static G: OnceLock<&'static satwatch_telemetry::Gauge> = OnceLock::new();
+    G.get_or_init(|| satwatch_telemetry::gauge("monitor_reassembly_pending_bytes"))
+}
+
+fn dropped_counter() -> &'static satwatch_telemetry::Counter {
+    static C: OnceLock<&'static satwatch_telemetry::Counter> = OnceLock::new();
+    C.get_or_init(|| satwatch_telemetry::counter("monitor_reassembly_dropped_segments_total"))
+}
 
 /// Out-of-order buffer cap per direction, bytes.
 const MAX_BUFFERED: usize = 262_144;
@@ -81,14 +94,17 @@ impl StreamReassembler {
             // future segment: buffer, bounded
             if self.pending_bytes + payload.len() > MAX_BUFFERED {
                 self.dropped_segments += 1;
+                dropped_counter().inc();
                 // the hole may never fill: skip the stream forward so
                 // inspection continues on fresh data
                 self.pending.clear();
+                pending_gauge().sub(self.pending_bytes as i64);
                 self.pending_bytes = 0;
                 self.next_off = off;
                 self.deliver_from(off, payload.clone())
             } else {
                 self.pending_bytes += payload.len();
+                pending_gauge().add(payload.len() as i64);
                 self.pending.entry(off).or_insert_with(|| payload.clone());
                 Vec::new()
             }
@@ -107,6 +123,7 @@ impl StreamReassembler {
             }
             let seg = self.pending.remove(&off).expect("present");
             self.pending_bytes -= seg.len();
+            pending_gauge().sub(seg.len() as i64);
             let skip = (self.next_off - off) as usize;
             if skip < seg.len() {
                 self.push_chunk(seg.slice(skip..), &mut out);
@@ -127,6 +144,17 @@ impl StreamReassembler {
     /// Total in-order bytes delivered so far.
     pub fn delivered_bytes(&self) -> u64 {
         self.delivered
+    }
+}
+
+impl Drop for StreamReassembler {
+    /// A flow finalised with a hole still open releases its buffered
+    /// bytes here, keeping the global gauge an exact sum over live
+    /// reassemblers.
+    fn drop(&mut self) {
+        if self.pending_bytes > 0 {
+            pending_gauge().sub(self.pending_bytes as i64);
+        }
     }
 }
 

@@ -94,9 +94,18 @@ impl ShardedProbe {
                 let handle = builder
                     .spawn(move || {
                         let mut probe = Probe::new(cfg);
+                        // resolved once per worker: the registry mutex
+                        // stays off the per-packet path
+                        let shard_packets = satwatch_telemetry::counter_with(
+                            "monitor_shard_packets_total",
+                            &[("shard", &shard.to_string())],
+                        );
                         while let Ok(msg) = rx.recv() {
                             match msg {
-                                ShardMsg::Packet(t, pkt) => probe.process_packet(t, &pkt),
+                                ShardMsg::Packet(t, pkt) => {
+                                    shard_packets.inc();
+                                    probe.process_packet(t, &pkt);
+                                }
                                 ShardMsg::Sweep(t) => probe.sweep_now(t),
                             }
                         }

@@ -56,11 +56,31 @@ pub fn snr_for_impairment(impairment: f64) -> f64 {
 /// Goodput factor relative to clear sky for a terminal at the given
 /// impairment: the selected MODCOD's efficiency over the clear-sky
 /// MODCOD's. Outage clamps to a small floor (ARQ keeps retrying).
+///
+/// Each call is one terminal MODCOD selection; a change from the
+/// previously selected rung counts as an ACM switch
+/// (`satcom_acm_modcod_switches_total`). The counter is telemetry
+/// only — it never feeds back into selection.
 pub fn goodput_factor(impairment: f64) -> f64 {
     let clear = select(CLEAR_SKY_SNR_DB).expect("clear sky closes").efficiency;
-    match select(snr_for_impairment(impairment)) {
+    let selected = select(snr_for_impairment(impairment));
+    note_selection(match selected {
+        Some(m) => LADDER.iter().position(|l| l.name == m.name).expect("selected from ladder"),
+        None => LADDER.len(), // outage rung
+    });
+    match selected {
         Some(m) => m.efficiency / clear,
         None => 0.02,
+    }
+}
+
+/// Record a MODCOD selection, counting transitions from the last one.
+fn note_selection(rung: usize) {
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+    static LAST: AtomicUsize = AtomicUsize::new(usize::MAX);
+    let prev = LAST.swap(rung, Relaxed);
+    if prev != rung && prev != usize::MAX {
+        satwatch_telemetry::counter("satcom_acm_modcod_switches_total").inc();
     }
 }
 

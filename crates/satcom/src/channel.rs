@@ -15,6 +15,25 @@ use crate::mac::Mac;
 use crate::pep::PepModel;
 use crate::weather::WeatherModel;
 use satwatch_simcore::{Rng, SimDuration, SimTime};
+use std::sync::OnceLock;
+
+/// Telemetry handles (write-only; see `satwatch-telemetry` docs).
+struct Metrics {
+    uplink: &'static satwatch_telemetry::Counter,
+    downlink: &'static satwatch_telemetry::Counter,
+    stalls: &'static satwatch_telemetry::Counter,
+    pep_setup_us: &'static satwatch_telemetry::Histogram,
+}
+
+fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        uplink: satwatch_telemetry::counter("satcom_uplink_traversals_total"),
+        downlink: satwatch_telemetry::counter("satcom_downlink_traversals_total"),
+        stalls: satwatch_telemetry::counter("satcom_stalls_total"),
+        pep_setup_us: satwatch_telemetry::histogram("satcom_pep_setup_us"),
+    })
+}
 
 /// The full satellite access network model (one satellite + one
 /// ground station, as in the paper's deployment).
@@ -73,6 +92,7 @@ impl SatelliteAccess {
         if !rng.chance(p) {
             return SimDuration::ZERO;
         }
+        metrics().stalls.inc();
         // bounded Pareto(xm = 0.7 s, alpha = 1.4, cap = 10 s)
         let x = 0.7 / rng.f64_open().powf(1.0 / 1.4);
         SimDuration::from_secs_f64(x.min(10.0))
@@ -95,6 +115,7 @@ impl SatelliteAccess {
         t: SimTime,
         cold_start: bool,
     ) -> SimDuration {
+        metrics().uplink.inc();
         let u = self.utilization(beam, local_hour);
         let imp = self.impairment_at(beam, t);
         let prop = self.slot.bent_pipe_delay(terminal.location, self.gs_location);
@@ -114,6 +135,7 @@ impl SatelliteAccess {
         local_hour: u32,
         t: SimTime,
     ) -> SimDuration {
+        metrics().downlink.inc();
         let u = self.utilization(beam, local_hour);
         let imp = self.impairment_at(beam, t);
         let prop = self.slot.bent_pipe_delay(terminal.location, self.gs_location);
@@ -147,7 +169,9 @@ impl SatelliteAccess {
     pub fn pep_setup_delay(&self, rng: &mut Rng, beam: &Beam, local_hour: u32) -> SimDuration {
         let u = self.utilization(beam, local_hour);
         let pep_u = PepModel::effective_utilization(u, beam.pep_provisioning);
-        self.pep.setup_delay(rng, pep_u)
+        let d = self.pep.setup_delay(rng, pep_u);
+        metrics().pep_setup_us.record((d.as_nanos() / 1_000).max(0) as u64);
+        d
     }
 }
 

@@ -41,6 +41,16 @@ pub fn classify(protocol: u8) -> PepPath {
     }
 }
 
+/// Count one spoofed handshake: the CPE ACKs the client's SYN locally
+/// and the ground proxy ACKs data towards the origin on the client's
+/// behalf. Called by the flow synthesizer when it emits the spoofed
+/// leg of a PEP-accelerated connection.
+pub fn note_spoofed_ack() {
+    use std::sync::OnceLock;
+    static C: OnceLock<&'static satwatch_telemetry::Counter> = OnceLock::new();
+    C.get_or_init(|| satwatch_telemetry::counter("satcom_pep_spoofed_acks_total")).inc();
+}
+
 #[derive(Clone, Copy, Debug)]
 pub struct PepConfig {
     /// Mean per-connection-setup service time of an unloaded PEP.

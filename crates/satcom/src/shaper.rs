@@ -6,6 +6,23 @@
 //! interactive traffic and shape video streaming.
 
 use satwatch_simcore::{BitRate, Bytes, SimDuration, SimTime};
+use std::sync::OnceLock;
+
+/// Telemetry handles for all token buckets (write-only).
+struct ShaperMetrics {
+    released: &'static satwatch_telemetry::Counter,
+    delayed: &'static satwatch_telemetry::Counter,
+    deficit_bytes: &'static satwatch_telemetry::Histogram,
+}
+
+fn shaper_metrics() -> &'static ShaperMetrics {
+    static M: OnceLock<ShaperMetrics> = OnceLock::new();
+    M.get_or_init(|| ShaperMetrics {
+        released: satwatch_telemetry::counter("satcom_shaper_released_total"),
+        delayed: satwatch_telemetry::counter("satcom_shaper_delayed_total"),
+        deficit_bytes: satwatch_telemetry::histogram("satcom_shaper_deficit_bytes"),
+    })
+}
 
 /// A commercial subscription plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -110,12 +127,16 @@ impl TokenBucket {
     /// Try to send `len` bytes at `now`. Returns the extra delay the
     /// shaper imposes before the packet may leave (zero if tokens are
     /// available). The packet is always eventually released — the
-    /// shaper delays rather than drops (the PEP tunnel is reliable).
+    /// shaper delays rather than drops (the PEP tunnel is reliable),
+    /// so the telemetry story is released/delayed counts plus the
+    /// imposed delay, not a drop counter.
     pub fn delay_for(&mut self, now: SimTime, len: Bytes) -> SimDuration {
         self.refill(now);
         let need = len.as_f64();
+        let m = shaper_metrics();
         if self.tokens >= need {
             self.tokens -= need;
+            m.released.inc();
             SimDuration::ZERO
         } else {
             let deficit = need - self.tokens;
@@ -123,6 +144,8 @@ impl TokenBucket {
             let wait = deficit * 8.0 / self.rate.as_bps() as f64;
             // account the future refill we just spent
             self.last = now + SimDuration::from_secs_f64(wait);
+            m.delayed.inc();
+            m.deficit_bytes.record(deficit as u64);
             SimDuration::from_secs_f64(wait)
         }
     }

@@ -1,0 +1,64 @@
+//! Canonical dataset digest: one `u64` over every byte an analyst
+//! would consume (the `simulate` TSV flow log plus the DNS log
+//! fields). Shared by the golden byte-identity test, the telemetry
+//! on/off determinism test, the bench JSON, and the
+//! `golden_digest` example — all four must hash the same bytes or
+//! "identical digest" stops meaning "identical dataset".
+
+use crate::run::Dataset;
+use satwatch_monitor::record::write_flows;
+use std::io::Write;
+
+/// FNV-1a 64-bit.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of the full serialized dataset (flow records in the
+/// `simulate` log format, then the DNS transaction log).
+pub fn dataset_digest(ds: &Dataset) -> u64 {
+    let mut buf = Vec::new();
+    write_flows(&mut buf, &ds.flows).expect("write to Vec cannot fail");
+    for d in &ds.dns {
+        writeln!(
+            buf,
+            "{}\t{}\t{}\t{}\t{}\t{:?}",
+            d.client,
+            d.resolver,
+            d.query,
+            d.ts.as_nanos(),
+            d.response_ms.map_or("-".into(), |v| format!("{v:.3}")),
+            d.answers,
+        )
+        .expect("write to Vec cannot fail");
+    }
+    fnv1a(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // reference values for the standard FNV-1a 64 parameters
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        let cfg = crate::ScenarioConfig::tiny().with_customers(8);
+        let a = dataset_digest(&crate::run(cfg));
+        let b = dataset_digest(&crate::run(cfg));
+        assert_eq!(a, b);
+        let c = dataset_digest(&crate::run(cfg.with_seed(7)));
+        assert_ne!(a, c);
+    }
+}

@@ -295,6 +295,11 @@ impl NetModel {
         let t_conn_at_gs = t_ready + up(rng, !cold_used);
         let t_syn =
             if self.pep_enabled { t_conn_at_gs + self.access.pep_setup_delay(rng, beam, hour) } else { t_conn_at_gs };
+        if self.pep_enabled {
+            // the CPE completed the client-side handshake with a
+            // spoofed ACK before the tunnel connect crossed the bird
+            satwatch_satcom::pep::note_spoofed_ack();
+        }
         fb.tcp(t_syn, true, TcpFlags::SYN, Bytes::new());
         let t_synack = t_syn + g();
         fb.tcp(t_synack, false, TcpFlags::SYN_ACK, Bytes::new());

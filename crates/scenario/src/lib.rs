@@ -7,11 +7,13 @@
 //! for every table and figure plus the ablations.
 
 pub mod config;
+pub mod digest;
 pub mod experiments;
 pub mod flowsim;
 pub mod paper_check;
 pub mod run;
 
 pub use config::ScenarioConfig;
+pub use digest::dataset_digest;
 pub use flowsim::NetModel;
 pub use run::{build_enrichment, run, run_with_tap, Dataset};

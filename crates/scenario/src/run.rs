@@ -16,6 +16,37 @@ use satwatch_satcom::pep::{PepConfig, PepModel};
 use satwatch_satcom::{GroundStation, SatelliteAccess};
 use satwatch_simcore::{ordered_par_map, EventQueue, RunMerge, SeedTree, SimTime};
 use satwatch_traffic::{build_population, catalog::standard_catalog, generate_day, Country, Population};
+use std::sync::OnceLock;
+
+/// Telemetry handles (write-only: never read back by the run loop, so
+/// recording cannot perturb the deterministic dataset).
+struct Metrics {
+    intents: &'static satwatch_telemetry::Counter,
+    flows: &'static satwatch_telemetry::Counter,
+    packets: &'static satwatch_telemetry::Counter,
+    intent_gen_us: &'static satwatch_telemetry::Histogram,
+    day_us: &'static satwatch_telemetry::Histogram,
+}
+
+fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        intents: satwatch_telemetry::counter("scenario_intents_total"),
+        flows: satwatch_telemetry::counter("scenario_flows_started_total"),
+        packets: satwatch_telemetry::counter("scenario_packets_total"),
+        intent_gen_us: satwatch_telemetry::histogram("scenario_intent_gen_us"),
+        day_us: satwatch_telemetry::histogram("scenario_day_us"),
+    })
+}
+
+/// Export each beam's static peak utilization as a labelled gauge, so
+/// a snapshot shows which beams a run is stressing.
+fn export_beam_gauges(population: &Population) {
+    for b in &population.beams {
+        satwatch_telemetry::gauge_with("scenario_beam_peak_utilization_pct", &[("beam", &b.name)])
+            .set((b.peak_utilization * 100.0) as i64);
+    }
+}
 
 /// The output of one scenario run: exactly what the paper's analysts
 /// have — anonymized flow/DNS logs plus operator enrichment.
@@ -66,7 +97,10 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
     // DESIGN.md "Run-merge scheduler" — while moving no `Packet` and
     // recycling every run buffer.
     let mut merge: RunMerge<Packet> = RunMerge::new();
+    export_beam_gauges(&population);
+    let m = metrics();
     for day in 0..cfg.days {
+        let _day_span = satwatch_telemetry::Span::over(m.day_us);
         // One queue per day bounds memory to a day's intents. Flows may
         // run up to one hour past midnight; later packets are truncated
         // (a negligible tail — flow emission is capped at 20 minutes).
@@ -76,15 +110,19 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
         // stream, so no RNG state is shared. Scheduling stays serial,
         // in customer order, because the event queue breaks time ties
         // FIFO — the insert order is part of the deterministic output.
-        let per_customer = ordered_par_map(cfg.threads, &population.customers, |i, customer| {
-            let mut rng = seeds.rng_idx("intents", day * 1_000_000 + i as u64);
-            generate_day(customer, i, &catalog, day, &mut rng)
-        });
+        let per_customer = {
+            let _s = satwatch_telemetry::Span::over(m.intent_gen_us);
+            ordered_par_map(cfg.threads, &population.customers, |i, customer| {
+                let mut rng = seeds.rng_idx("intents", day * 1_000_000 + i as u64);
+                generate_day(customer, i, &catalog, day, &mut rng)
+            })
+        };
         for day_intents in per_customer {
             for mut intent in day_intents {
                 if cfg.force_operator_dns {
                     intent.resolver = ResolverId::OperatorEu;
                 }
+                m.intents.inc();
                 intents.schedule(intent.start, intent);
             }
         }
@@ -109,6 +147,7 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
                 }
                 let customer = &population.customers[intent.customer_index];
                 let beam = population.beam(customer.terminal.beam);
+                m.flows.inc();
                 let mut run = merge.take_buffer();
                 model.simulate_flow(&intent, customer, &catalog, beam, &mut flow_rng, &mut run);
                 // The builder may interleave directions out of time
@@ -124,6 +163,7 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
                 if tp.expect("merge peeked empty") > horizon {
                     break;
                 }
+                m.packets.inc();
                 merge
                     .pop_with(|t, pkt| {
                         tap(t, pkt);

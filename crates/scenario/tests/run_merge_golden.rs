@@ -14,19 +14,7 @@
 //! workload model), refresh the constants with
 //! `cargo run --release --example golden_digest`.
 
-use satwatch_monitor::record::write_flows;
-use satwatch_scenario::{run, ScenarioConfig};
-use std::io::Write;
-
-/// FNV-1a 64. Mirrors `examples/golden_digest.rs`.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use satwatch_scenario::{dataset_digest, run, ScenarioConfig};
 
 /// Digest captured from the pre-run-merge heap scheduler at this
 /// workload (tiny, 12 customers, seed 42, 2 days).
@@ -42,25 +30,10 @@ fn run_merge_output_matches_heap_scheduler_golden() {
     assert_eq!(ds.flows.len(), GOLDEN_FLOWS, "flow count drifted from the heap-scheduler golden");
     assert_eq!(ds.dns.len(), GOLDEN_DNS, "dns count drifted from the heap-scheduler golden");
 
-    // Serialize exactly like the `simulate` subcommand's log writer,
-    // plus the DNS log fields, so the digest covers every byte an
-    // analyst would consume.
-    let mut buf = Vec::new();
-    write_flows(&mut buf, &ds.flows).unwrap();
-    for d in &ds.dns {
-        writeln!(
-            buf,
-            "{}\t{}\t{}\t{}\t{}\t{:?}",
-            d.client,
-            d.resolver,
-            d.query,
-            d.ts.as_nanos(),
-            d.response_ms.map_or("-".into(), |v| format!("{v:.3}")),
-            d.answers,
-        )
-        .unwrap();
-    }
-    let digest = fnv1a(&buf);
+    // `dataset_digest` serializes exactly like the `simulate`
+    // subcommand's log writer, plus the DNS log fields, so the digest
+    // covers every byte an analyst would consume.
+    let digest = dataset_digest(&ds);
     assert_eq!(
         digest, GOLDEN_DIGEST,
         "dataset bytes diverged from the pre-change heap ordering \

@@ -1,0 +1,59 @@
+//! One end-to-end run must light up instruments in every layer:
+//! scenario (run loop), simcore (run-merge), satcom (channel, PEP,
+//! shaper), monitor (probe, flow table, DPI), and analytics (span
+//! timers). A layer whose counters stay at zero means its wiring
+//! regressed. Kept in its own integration binary so nothing here races
+//! with the on/off toggling in `telemetry_determinism.rs`.
+
+use satwatch_scenario::{run, ScenarioConfig};
+use satwatch_telemetry::Snapshot;
+
+#[test]
+fn snapshot_covers_every_pipeline_layer() {
+    let ds = run(ScenarioConfig::tiny().with_customers(10).with_probe_shards(2));
+    let _ = satwatch_analytics::agg::table1_par(&ds.flows, 2);
+    let snap = Snapshot::take();
+    let counter = |name: &str| snap.counter(name).unwrap_or_else(|| panic!("{name} missing from snapshot"));
+
+    // scenario layer
+    assert!(counter("scenario_intents_total") > 0);
+    assert!(counter("scenario_flows_started_total") > 0);
+    assert!(counter("scenario_packets_total") > 0);
+    assert_eq!(counter("scenario_packets_total"), ds.packets, "run loop counts what the probe observed");
+
+    // simcore run-merge
+    assert!(counter("simcore_merge_runs_total") > 0);
+
+    // satcom layer
+    assert!(counter("satcom_uplink_traversals_total") > 0);
+    assert!(counter("satcom_downlink_traversals_total") > 0);
+    assert!(counter("satcom_pep_spoofed_acks_total") > 0, "PEP is on by default");
+    let pep_setup = snap.histogram("satcom_pep_setup_us").expect("PEP setup span registered");
+    assert!(pep_setup.count > 0);
+
+    // monitor layer (probe counts packets; the sharded dispatcher adds
+    // per-shard labelled series)
+    assert!(counter("monitor_packets_total") >= ds.packets);
+    let shard_series: u64 = (0..2)
+        .map(|s| {
+            snap.counter(&satwatch_telemetry::labelled("monitor_shard_packets_total", &[("shard", &s.to_string())]))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(shard_series >= ds.packets, "per-shard counters sum to at least this run's packets");
+    let verdicts: u64 = ["TCP/HTTPS", "TCP/HTTP", "UDP/QUIC", "UDP/DNS", "UDP/RTP", "Other TCP", "Other UDP"]
+        .iter()
+        .filter_map(|l| snap.counter(&satwatch_telemetry::labelled("monitor_dpi_verdicts_total", &[("l7", l)])))
+        .sum();
+    assert!(verdicts >= ds.flows.len() as u64, "every finalised flow got a DPI verdict");
+
+    // analytics span timers
+    let h = snap.histogram("analytics_table1_us").expect("analytics span registered");
+    assert!(h.count >= 1);
+
+    // beam gauges are exported per beam with labels
+    assert!(
+        snap.values.keys().any(|k| k.starts_with("scenario_beam_peak_utilization_pct{")),
+        "per-beam labelled gauges present"
+    );
+}

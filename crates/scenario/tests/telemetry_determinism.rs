@@ -1,0 +1,31 @@
+//! The telemetry acceptance gate: instrumentation is observation-only.
+//!
+//! The whole pipeline is wired with counters, gauges, and span timers,
+//! and every one of them must be invisible in the output: the dataset
+//! digest (flow log + DNS log bytes) has to be identical with
+//! telemetry enabled or disabled, at any thread/shard count. A single
+//! instrument whose value feeds back into control flow — or whose
+//! recording perturbs scheduling-order-sensitive state — breaks this.
+
+use satwatch_scenario::{dataset_digest, run, ScenarioConfig};
+
+#[test]
+fn dataset_bytes_identical_with_telemetry_on_or_off_at_any_parallelism() {
+    let cfg = ScenarioConfig::tiny().with_customers(10);
+    let digest_with = |threads: usize, enabled: bool| {
+        satwatch_telemetry::set_enabled(enabled);
+        let d = dataset_digest(&run(cfg.with_threads(threads).with_probe_shards(threads)));
+        satwatch_telemetry::set_enabled(true);
+        d
+    };
+    let baseline = digest_with(1, true);
+    for threads in [1usize, 4] {
+        for enabled in [true, false] {
+            assert_eq!(
+                digest_with(threads, enabled),
+                baseline,
+                "dataset diverged at threads={threads} telemetry={enabled}"
+            );
+        }
+    }
+}

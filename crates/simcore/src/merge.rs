@@ -30,9 +30,29 @@
 //! stable-sorted by time.
 
 use crate::time::SimTime;
+use std::sync::OnceLock;
 
 /// Sentinel key: sorts after every real `(time, run_id)` key.
 const EXHAUSTED: (SimTime, u64) = (SimTime::MAX, u64::MAX);
+
+/// Telemetry handles, resolved once. Write-only: the merge never
+/// reads these back, so observation cannot change pop order.
+struct Metrics {
+    runs: &'static satwatch_telemetry::Counter,
+    run_len: &'static satwatch_telemetry::Histogram,
+    live_runs: &'static satwatch_telemetry::Gauge,
+    buffers_recycled: &'static satwatch_telemetry::Counter,
+}
+
+fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        runs: satwatch_telemetry::counter("simcore_merge_runs_total"),
+        run_len: satwatch_telemetry::histogram("simcore_merge_run_len"),
+        live_runs: satwatch_telemetry::gauge("simcore_merge_live_runs"),
+        buffers_recycled: satwatch_telemetry::counter("simcore_merge_buffers_recycled_total"),
+    })
+}
 
 struct Slot<T> {
     /// Time-sorted items; empty for a free slot.
@@ -113,6 +133,10 @@ impl<T> RunMerge<T> {
             Some(s) => s,
             None => self.grow(),
         };
+        let m = metrics();
+        m.runs.inc();
+        m.run_len.record(items.len() as u64);
+        m.live_runs.inc();
         self.len += items.len();
         self.slots[slot] = Slot { items, pos: 0, run_id: self.next_run_id };
         self.next_run_id += 1;
@@ -142,6 +166,7 @@ impl<T> RunMerge<T> {
             self.recycle(buf);
             self.slots[slot].pos = 0;
             self.free.push(slot);
+            metrics().live_runs.dec();
         }
         self.update(slot);
         Some(out)
@@ -156,6 +181,7 @@ impl<T> RunMerge<T> {
                 self.recycle(buf);
                 self.slots[slot].pos = 0;
                 self.free.push(slot);
+                metrics().live_runs.dec();
             }
         }
         self.len = 0;
@@ -165,6 +191,7 @@ impl<T> RunMerge<T> {
     fn recycle(&mut self, mut buf: Vec<(SimTime, T)>) {
         buf.clear();
         if self.pool.len() < 64 {
+            metrics().buffers_recycled.inc();
             self.pool.push(buf);
         }
     }

@@ -522,6 +522,57 @@ mod tests {
         assert!((p2.estimate() - exact).abs() < 12.0, "{} vs {}", p2.estimate(), exact);
     }
 
+    /// Push `values` through a fresh P² tracker per quantile and
+    /// demand the estimate lands within `tol` (relative to the sample
+    /// spread, which is fairer than relative-to-value near zero).
+    fn assert_p2_accurate(name: &str, values: &[f64], quantiles: &[f64], tol: f64) {
+        let spread = quantile(values, 1.0) - quantile(values, 0.0);
+        for &q in quantiles {
+            let mut p2 = P2Quantile::new(q);
+            for &v in values {
+                p2.push(v);
+            }
+            let exact = quantile(values, q);
+            let err = (p2.estimate() - exact).abs() / spread;
+            assert!(err < tol, "{name} q={q}: est {} vs exact {exact} (err {err:.4} of spread)", p2.estimate());
+        }
+    }
+
+    #[test]
+    fn p2_accuracy_on_uniform_samples() {
+        use crate::rng::Rng;
+        let mut rng = Rng::new(21);
+        let values: Vec<f64> = (0..50_000).map(|_| rng.f64() * 1000.0).collect();
+        assert_p2_accurate("uniform", &values, &[0.05, 0.25, 0.5, 0.75, 0.9, 0.99], 0.01);
+    }
+
+    #[test]
+    fn p2_accuracy_on_exponential_samples() {
+        use crate::rng::Rng;
+        let mut rng = Rng::new(22);
+        // mean-250 exponential: a skewed, long-tailed shape like
+        // response times
+        let values: Vec<f64> = (0..50_000).map(|_| -rng.f64_open().ln() * 250.0).collect();
+        assert_p2_accurate("exponential", &values, &[0.25, 0.5, 0.75, 0.9], 0.01);
+        // the extreme tail of a heavy-tailed sample is harder — the
+        // spread is dominated by a handful of max-order statistics
+        assert_p2_accurate("exponential tail", &values, &[0.99], 0.05);
+    }
+
+    #[test]
+    fn p2_accuracy_on_bimodal_samples() {
+        use crate::rng::Rng;
+        let mut rng = Rng::new(23);
+        // 70 % in a tight low mode, 30 % in a high mode — like RTTs
+        // split between terrestrial and satellite paths. The empty gap
+        // between modes is the classic hard case for marker methods.
+        let values: Vec<f64> = (0..50_000)
+            .map(|_| if rng.chance(0.7) { 40.0 + rng.f64() * 20.0 } else { 560.0 + rng.f64() * 80.0 })
+            .collect();
+        assert_p2_accurate("bimodal low mode", &values, &[0.25, 0.5], 0.02);
+        assert_p2_accurate("bimodal high mode", &values, &[0.9, 0.99], 0.02);
+    }
+
     #[test]
     fn quantile_type7() {
         let v = [1.0, 2.0, 3.0, 4.0];

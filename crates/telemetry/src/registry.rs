@@ -1,0 +1,157 @@
+//! The global instrument registry: name → `&'static` instrument.
+//!
+//! Instruments are interned on first use and live for the process
+//! lifetime (`Box::leak`), so call sites can cache a `&'static
+//! Counter` and the hot path never touches the registry lock. The
+//! registry itself is a `Mutex<BTreeMap>` — lookups happen at
+//! construction/registration frequency, and the BTreeMap gives
+//! snapshots a stable, sorted iteration order for free.
+
+use crate::instruments::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// A registered instrument.
+#[derive(Clone, Copy)]
+pub enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The process-wide instrument registry.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// The counter named `name`, registering it on first use.
+    /// Panics if the name is already registered as another kind.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        match self.intern(name, || Instrument::Counter(Box::leak(Box::new(Counter::new())))) {
+            Instrument::Counter(c) => c,
+            other => panic!("{name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        match self.intern(name, || Instrument::Gauge(Box::leak(Box::new(Gauge::new())))) {
+            Instrument::Gauge(g) => g,
+            other => panic!("{name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        match self.intern(name, || Instrument::Histogram(Box::leak(Box::new(Histogram::new())))) {
+            Instrument::Histogram(h) => h,
+            other => panic!("{name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn intern(&self, name: &str, make: impl FnOnce() -> Instrument) -> Instrument {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        if let Some(i) = map.get(name) {
+            return *i;
+        }
+        let i = make();
+        map.insert(name.to_string(), i);
+        i
+    }
+
+    /// Visit every instrument in sorted-name order.
+    pub fn for_each(&self, mut f: impl FnMut(&str, Instrument)) {
+        let map = self.inner.lock().expect("registry poisoned");
+        for (name, i) in map.iter() {
+            f(name, *i);
+        }
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(Registry::default)
+}
+
+/// Render `name{k="v",…}` — the conventional series name for a
+/// labelled instrument (valid as-is in the Prometheus text format).
+/// Build once and cache the handle; this allocates.
+pub fn labelled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut s = String::with_capacity(name.len() + 16 * labels.len());
+    s.push_str(name);
+    s.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(k);
+        s.push_str("=\"");
+        s.push_str(v);
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_instrument() {
+        let r = Registry::default();
+        let a = r.counter("x_total") as *const Counter;
+        let b = r.counter("x_total") as *const Counter;
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::default();
+        r.counter("y_total");
+        r.gauge("y_total");
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let r = Registry::default();
+        r.counter("b_total");
+        r.gauge("a_depth");
+        r.histogram("c_us");
+        let mut names = Vec::new();
+        r.for_each(|n, _| names.push(n.to_string()));
+        assert_eq!(names, ["a_depth", "b_total", "c_us"]);
+    }
+
+    #[test]
+    fn labelled_series_names() {
+        assert_eq!(labelled("pkts_total", &[]), "pkts_total");
+        assert_eq!(labelled("pkts_total", &[("shard", "3")]), "pkts_total{shard=\"3\"}");
+        assert_eq!(labelled("u", &[("a", "1"), ("b", "x")]), "u{a=\"1\",b=\"x\"}");
+    }
+}

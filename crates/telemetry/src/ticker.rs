@@ -1,0 +1,111 @@
+//! The live progress ticker: a background thread printing a one-line
+//! delta summary to stderr every interval.
+//!
+//! The ticker observes the same global registry as everything else.
+//! It is pure observation on its own thread — it never feeds anything
+//! back into the pipeline, so it cannot affect determinism (only
+//! interleave stderr lines).
+
+use crate::snapshot::{Snapshot, Value};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running ticker. Dropping it stops the thread (joining it), so a
+/// ticker scoped to a run cannot outlive the run's output.
+pub struct Ticker {
+    stop: Option<Sender<()>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Start a ticker printing every `interval`. Intervals below 10 ms
+    /// are clamped up to keep the ticker from competing with the work
+    /// it is watching.
+    pub fn start(interval: Duration) -> Ticker {
+        let interval = interval.max(Duration::from_millis(10));
+        let (stop, rx) = mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name("telemetry-ticker".into())
+            .spawn(move || {
+                let mut prev = Snapshot::take();
+                loop {
+                    match rx.recv_timeout(interval) {
+                        Err(RecvTimeoutError::Timeout) => {
+                            let now = Snapshot::take();
+                            eprintln!("[telemetry] {}", tick_line(&now.delta(&prev)));
+                            prev = now;
+                        }
+                        // stop requested, or the Ticker was leaked and
+                        // the sender dropped — either way, exit
+                        Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            })
+            .expect("spawn telemetry ticker");
+        Ticker { stop: Some(stop), handle: Some(handle) }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One line summarising a delta snapshot: the interval's counter
+/// increments plus current gauge levels, largest counters first,
+/// capped to fit a terminal line.
+pub fn tick_line(delta: &Snapshot) -> String {
+    let mut counters: Vec<(&str, u64)> = Vec::new();
+    let mut gauges: Vec<(&str, i64)> = Vec::new();
+    for (name, v) in &delta.values {
+        match v {
+            Value::Counter(c) if *c > 0 => counters.push((name, *c)),
+            Value::Gauge(g) if *g != 0 => gauges.push((name, *g)),
+            _ => {}
+        }
+    }
+    counters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut parts: Vec<String> = counters.iter().take(6).map(|(n, c)| format!("{n}=+{c}")).collect();
+    parts.extend(gauges.iter().take(4).map(|(n, g)| format!("{n}={g}")));
+    if parts.is_empty() {
+        "idle".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn tick_line_formats_deltas() {
+        let r = Registry::default();
+        r.counter("a_total").add(10);
+        r.counter("b_total").add(200);
+        r.gauge("depth").add(3);
+        r.histogram("h").record(5); // histograms are not in the line
+        let line = tick_line(&Snapshot::of(&r));
+        assert_eq!(line, "b_total=+200 a_total=+10 depth=3");
+    }
+
+    #[test]
+    fn tick_line_idle_when_nothing_moved() {
+        assert_eq!(tick_line(&Snapshot::default()), "idle");
+    }
+
+    #[test]
+    fn ticker_starts_and_stops() {
+        let t = Ticker::start(Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(5));
+        drop(t); // must join without hanging
+    }
+}

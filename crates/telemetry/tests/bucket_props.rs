@@ -1,0 +1,61 @@
+//! Property tests for the histogram's log-linear bucket layout.
+
+use proptest::prelude::*;
+use satwatch_telemetry::{bucket_lower, bucket_of, bucket_upper, Histogram, BUCKETS};
+
+proptest! {
+    /// Every u64 lands in a bucket whose [lower, upper) contains it
+    /// (the top bucket's upper bound is u64::MAX, checked inclusively).
+    #[test]
+    fn value_is_inside_its_bucket(v in any::<u64>()) {
+        let idx = bucket_of(v);
+        prop_assert!(idx < BUCKETS);
+        prop_assert!(bucket_lower(idx) <= v);
+        if idx < BUCKETS - 1 {
+            prop_assert!(v < bucket_upper(idx));
+        }
+    }
+
+    /// bucket_of is monotone: a larger value never maps to a smaller
+    /// bucket.
+    #[test]
+    fn bucket_of_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_of(lo) <= bucket_of(hi));
+    }
+
+    /// Quantization error below the clamp region is bounded: the
+    /// bucket lower bound underestimates v by less than one
+    /// sub-bucket width, i.e. by at most 20 % of v (worst case at the
+    /// top of the first sub-bucket of an octave: width/(lo+width) =
+    /// 0.25/1.25).
+    #[test]
+    fn relative_error_bounded(v in 16u64..(1u64 << 32)) {
+        let idx = bucket_of(v);
+        let lo = bucket_lower(idx);
+        prop_assert!((v - lo) as f64 / v as f64 <= 0.20 + 1e-12,
+            "v={v} lo={lo}");
+    }
+
+    /// Boundary values: each bucket's lower bound maps back to that
+    /// bucket, and lower−1 maps to the previous one.
+    #[test]
+    fn boundaries_are_exact(idx in 1usize..BUCKETS) {
+        let lo = bucket_lower(idx);
+        prop_assert_eq!(bucket_of(lo), idx);
+        prop_assert_eq!(bucket_of(lo - 1), idx - 1);
+    }
+
+    /// Recording any batch of values preserves count and per-bucket
+    /// totals.
+    #[test]
+    fn histogram_conserves_counts(vs in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), vs.len() as u64);
+        prop_assert_eq!(h.max(), vs.iter().copied().max().unwrap());
+    }
+}

@@ -1,0 +1,42 @@
+//! The global enable switch, tested in its own integration binary so
+//! flipping it cannot race the crate's unit tests.
+
+use satwatch_telemetry as telemetry;
+
+#[test]
+fn disabled_recording_is_silent_and_reversible() {
+    let c = telemetry::counter("gate_test_total");
+    let g = telemetry::gauge("gate_test_depth");
+    let h = telemetry::histogram("gate_test_us");
+
+    assert!(telemetry::enabled(), "recording defaults to on");
+    c.inc();
+    g.add(5);
+    h.record(100);
+
+    telemetry::set_enabled(false);
+    assert!(!telemetry::enabled());
+    c.add(1_000);
+    g.add(1_000);
+    g.set(1_000);
+    h.record(1_000);
+    {
+        let _s = telemetry::span("gate_test_span_us");
+    }
+
+    // nothing moved while disabled
+    assert_eq!(c.value(), 1);
+    assert_eq!(g.value(), 5);
+    assert_eq!(h.count(), 1);
+    assert_eq!(telemetry::histogram("gate_test_span_us").count(), 0);
+
+    // export still reads the pre-disable state
+    let snap = telemetry::Snapshot::take();
+    assert_eq!(snap.counter("gate_test_total"), Some(1));
+    assert_eq!(snap.gauge("gate_test_depth"), Some(5));
+
+    // and re-enabling resumes recording
+    telemetry::set_enabled(true);
+    c.inc();
+    assert_eq!(c.value(), 2);
+}

@@ -2,35 +2,15 @@
 //! byte-identity test (crates/scenario/tests/run_merge_golden.rs).
 //! Run against a known-good revision to refresh the constant there.
 
-use satwatch_monitor::record::write_flows;
-use satwatch_scenario::{run, ScenarioConfig};
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use satwatch_scenario::{dataset_digest, run, ScenarioConfig};
 
 fn main() {
     let ds = run(ScenarioConfig::tiny().with_customers(12).with_seed(42).with_days(2));
-    let mut buf = Vec::new();
-    write_flows(&mut buf, &ds.flows).unwrap();
-    for d in &ds.dns {
-        use std::io::Write;
-        writeln!(
-            buf,
-            "{}\t{}\t{}\t{}\t{}\t{:?}",
-            d.client,
-            d.resolver,
-            d.query,
-            d.ts.as_nanos(),
-            d.response_ms.map_or("-".into(), |v| format!("{v:.3}")),
-            d.answers,
-        )
-        .unwrap();
-    }
-    println!("packets={} flows={} dns={} digest={:#018x}", ds.packets, ds.flows.len(), ds.dns.len(), fnv1a(&buf));
+    println!(
+        "packets={} flows={} dns={} digest={:#018x}",
+        ds.packets,
+        ds.flows.len(),
+        ds.dns.len(),
+        dataset_digest(&ds)
+    );
 }
