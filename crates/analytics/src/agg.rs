@@ -15,7 +15,7 @@
 //! count produces bit-identical reports. Serial is just `workers = 1`
 //! of the same code path.
 
-use crate::classify::{second_level_domain, Classifier};
+use crate::classify::{second_level_domain, Classifier, ClassifyCache};
 use crate::report::*;
 use satwatch_internet::ResolverId;
 use satwatch_monitor::{DnsRecord, FlowRecord, L7Protocol};
@@ -265,7 +265,7 @@ impl CustomerDay {
     /// Merge another summary of the same (client, day) into this one.
     /// Every field is an exact sum or a set union, so merge order
     /// cannot change the result.
-    fn absorb(&mut self, other: CustomerDay) {
+    pub(crate) fn absorb(&mut self, other: CustomerDay) {
         self.flows += other.flows;
         self.down += other.down;
         self.up += other.up;
@@ -293,6 +293,10 @@ pub fn customer_days_par(
         flows,
         |chunk| {
             let mut map: FxHashMap<(Ipv4Addr, u64), CustomerDay> = FxHashMap::default();
+            // SNIs are interned, so the distinct-handle count is tiny;
+            // memoizing per handle skips the pattern scan on repeats
+            // without changing any verdict (classification is pure).
+            let mut cache = ClassifyCache::default();
             for f in chunk {
                 let day = f.first.as_secs() / SECS_PER_DAY;
                 let e = map.entry((f.client, day)).or_default();
@@ -300,7 +304,7 @@ pub fn customer_days_par(
                 e.down += f.s2c_bytes;
                 e.up += f.c2s_bytes;
                 if let Some(domain) = &f.domain {
-                    if let Some((svc, cat)) = classifier.classify(domain) {
+                    if let Some((svc, cat)) = classifier.classify_cached(domain, &mut cache) {
                         *e.by_category.entry(cat).or_default() += flow_bytes(f);
                         e.services.insert(svc);
                     }

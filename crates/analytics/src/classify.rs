@@ -10,7 +10,34 @@
 //! "enumerate top and local players by manually inspecting the list
 //! of most popular domains".
 
+use satwatch_monitor::Domain;
+use satwatch_simcore::FxHashMap;
 use satwatch_traffic::Category;
+use std::sync::Arc;
+
+/// A memoized classification verdict: the service name and category,
+/// or `None` for an unclassified domain.
+pub type ServiceVerdict = Option<(&'static str, Category)>;
+
+/// Pointer-keyed memo for [`Classifier::classify_cached`]: one entry
+/// per distinct interned `Domain` handle. The stored `Domain` clone
+/// keeps the allocation alive for the cache's lifetime, making the
+/// pointer key stable.
+#[derive(Debug, Default)]
+pub struct ClassifyCache {
+    by_ptr: FxHashMap<usize, (Domain, ServiceVerdict)>,
+}
+
+impl ClassifyCache {
+    /// Number of distinct domain handles memoized.
+    pub fn len(&self) -> usize {
+        self.by_ptr.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_ptr.is_empty()
+    }
+}
 
 /// One matching primitive of the Table 3 pattern language.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -291,6 +318,26 @@ impl Classifier {
         self.rules.iter().find(|r| r.patterns.iter().any(|p| p.matches(&d))).map(|r| (r.service, r.category))
     }
 
+    /// [`Classifier::classify`] memoized per interned domain handle.
+    ///
+    /// Flow records intern their SNI (`Domain = Arc<str>`), so the
+    /// same backing allocation recurs for every flow to a given name;
+    /// keying the memo on the `Arc` pointer skips both the lowercasing
+    /// and the pattern scan on every repeat. The cache pins a clone of
+    /// each `Domain` it has seen so the allocation (and therefore the
+    /// pointer key) cannot be freed and reused for a different name
+    /// while the cache lives. Classification is a pure function of the
+    /// name, so memoization cannot change any result.
+    pub fn classify_cached(&self, domain: &Domain, cache: &mut ClassifyCache) -> Option<(&'static str, Category)> {
+        let key = Arc::as_ptr(domain) as *const u8 as usize;
+        if let Some((_pin, verdict)) = cache.by_ptr.get(&key) {
+            return *verdict;
+        }
+        let verdict = self.classify(domain);
+        cache.by_ptr.insert(key, (domain.clone(), verdict));
+        verdict
+    }
+
     pub fn rules(&self) -> &[Rule] {
         &self.rules
     }
@@ -463,6 +510,25 @@ mod tests {
         assert!(text.contains("^www.google"));
         assert!(text.contains("spotify.com$"));
         assert!(text.contains(".sky.com$"));
+    }
+
+    #[test]
+    fn cached_classification_matches_uncached() {
+        let c = Classifier::standard();
+        let mut cache = ClassifyCache::default();
+        let domains: Vec<Domain> =
+            ["video.tiktokv.com", "docs.google.com", "random.website.xyz"].iter().map(|d| Domain::from(*d)).collect();
+        for d in &domains {
+            assert_eq!(c.classify_cached(d, &mut cache), c.classify(d));
+            // hit path returns the same verdict
+            assert_eq!(c.classify_cached(d, &mut cache), c.classify(d));
+        }
+        assert_eq!(cache.len(), 3, "one entry per distinct handle");
+        // a distinct handle with equal content gets its own entry but
+        // the same verdict
+        let dup = Domain::from("video.tiktokv.com");
+        assert_eq!(c.classify_cached(&dup, &mut cache), c.classify("video.tiktokv.com"));
+        assert_eq!(cache.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,911 @@
+//! Columnar analytics engine: every paper table/figure as a fold over
+//! a [`FlowFrame`], plus the fused [`report_all`] sweep that fills all
+//! of them in a single pass.
+//!
+//! Each figure is an accumulator with three operations — `absorb` a
+//! row, `merge` two partials in chunk order, `finish` into the typed
+//! report — driven by [`ordered_par_ranges`]. The byte-equivalence
+//! contract with the record-based `agg` functions rests on three facts
+//! (DESIGN.md §10):
+//!
+//! 1. integer tallies are exact and associative, so chunked reduction
+//!    equals the serial fold;
+//! 2. every `f64` collection concatenates in chunk order, reproducing
+//!    the serial observation order before any order-sensitive step
+//!    (weighted-CDF tie handling, the CDN mean's incremental sum);
+//! 3. map-iteration-order differences between the paths are absorbed
+//!    by finishers that sort (`Cdf`, `BoxplotSummary`, row sorts on
+//!    unique keys) before rendering.
+//!
+//! The fused sweep exists because the record path reads the ~250-byte
+//! `FlowRecord` once *per figure*; [`report_all`] reads each hot
+//! column once, total, and resolves no hash lookups or pattern
+//! matches at all — they were paid once at frame build.
+
+use crate::agg::{self, CustomerDay, Enrichment, THROUGHPUT_MIN_BYTES};
+use crate::classify::second_level_domain;
+use crate::frame::{category_of, FlowFrame, NO_BEAM, NO_CATEGORY, NO_COUNTRY};
+use crate::report::*;
+use satwatch_internet::ResolverId;
+use satwatch_monitor::{DnsRecord, L7Protocol};
+use satwatch_simcore::{ordered_par_ranges, FxHashMap, SimDuration, SimTime};
+use satwatch_traffic::Country;
+use std::net::Ipv4Addr;
+
+const N_PROTO: usize = L7Protocol::ALL.len();
+const N_COUNTRY: usize = Country::ALL.len();
+
+/// Fold rows `0..len` through per-chunk accumulators, reducing in
+/// chunk order. The engine's single parallel shape.
+fn fold_rows<A, F>(len: usize, workers: usize, absorb: F, merge: fn(A, A) -> A) -> A
+where
+    A: Send + Default,
+    F: Fn(&mut A, usize) + Sync,
+{
+    ordered_par_ranges(
+        workers,
+        len,
+        |range| {
+            let mut acc = A::default();
+            for i in range {
+                absorb(&mut acc, i);
+            }
+            acc
+        },
+        merge,
+    )
+}
+
+// ---------------------------------------------------------------- Table 1
+
+#[derive(Default)]
+struct Table1Acc {
+    by: [u64; N_PROTO],
+    total: u64,
+}
+
+impl Table1Acc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let b = fr.flow_bytes(i);
+        self.by[fr.l7[i] as usize] += b;
+        self.total += b;
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (a, b) in self.by.iter_mut().zip(o.by) {
+            *a += b;
+        }
+        self.total += o.total;
+        self
+    }
+
+    fn finish(self) -> Table1 {
+        let rows = L7Protocol::ALL
+            .into_iter()
+            .map(|p| (p, 100.0 * self.by[p.index()] as f64 / self.total.max(1) as f64))
+            .collect();
+        Table1 { rows }
+    }
+}
+
+/// [`agg::table1`] as a frame fold.
+pub fn table1_frame(fr: &FlowFrame, workers: usize) -> Table1 {
+    fold_rows(fr.len(), workers, |a: &mut Table1Acc, i| a.absorb(fr, i), Table1Acc::merge).finish()
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+#[derive(Default)]
+struct Fig2Acc {
+    vol: [u64; N_COUNTRY],
+    total: u64,
+}
+
+impl Fig2Acc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let ci = fr.country[i];
+        if ci != NO_COUNTRY {
+            let b = fr.flow_bytes(i);
+            self.vol[ci as usize] += b;
+            self.total += b;
+        }
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (a, b) in self.vol.iter_mut().zip(o.vol) {
+            *a += b;
+        }
+        self.total += o.total;
+        self
+    }
+
+    fn finish(self, enr: &Enrichment) -> Fig2 {
+        let total_customers = enr.country_of.len();
+        let mut rows: Vec<(Country, f64, f64, f64)> = Country::ALL
+            .into_iter()
+            .map(|c| {
+                let v = self.vol[c.index()];
+                let customers = enr.customers_in(c);
+                let mb_per_day = if customers == 0 || enr.days == 0 {
+                    0.0
+                } else {
+                    v as f64 / 1e6 / customers as f64 / enr.days as f64
+                };
+                (
+                    c,
+                    100.0 * v as f64 / self.total.max(1) as f64,
+                    100.0 * customers as f64 / total_customers.max(1) as f64,
+                    mb_per_day,
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        Fig2 { rows }
+    }
+}
+
+/// [`agg::fig2`] as a frame fold.
+pub fn fig2_frame(fr: &FlowFrame, enr: &Enrichment, workers: usize) -> Fig2 {
+    fold_rows(fr.len(), workers, |a: &mut Fig2Acc, i| a.absorb(fr, i), Fig2Acc::merge).finish(enr)
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+struct Fig3Acc {
+    vol: [[u64; N_PROTO]; N_COUNTRY],
+    seen: [bool; N_COUNTRY],
+}
+
+impl Default for Fig3Acc {
+    fn default() -> Self {
+        Fig3Acc { vol: [[0; N_PROTO]; N_COUNTRY], seen: [false; N_COUNTRY] }
+    }
+}
+
+impl Fig3Acc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let ci = fr.country[i];
+        if ci != NO_COUNTRY {
+            self.vol[ci as usize][fr.l7[i] as usize] += fr.flow_bytes(i);
+            self.seen[ci as usize] = true;
+        }
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (av, bv) in self.vol.iter_mut().zip(o.vol) {
+            for (a, b) in av.iter_mut().zip(bv) {
+                *a += b;
+            }
+        }
+        for (a, b) in self.seen.iter_mut().zip(o.seen) {
+            *a |= b;
+        }
+        self
+    }
+
+    fn finish(self) -> Fig3 {
+        // `agg::fig3` sorts its rows by `Country::ALL` position, which
+        // is exactly the order this emits.
+        let rows = Country::ALL
+            .into_iter()
+            .filter(|c| self.seen[c.index()])
+            .map(|c| {
+                let protos = &self.vol[c.index()];
+                let total: u64 = protos.iter().sum();
+                let shares = L7Protocol::ALL
+                    .into_iter()
+                    .map(|p| (p, 100.0 * protos[p.index()] as f64 / total.max(1) as f64))
+                    .collect();
+                (c, shares)
+            })
+            .collect();
+        Fig3 { rows }
+    }
+}
+
+/// [`agg::fig3`] as a frame fold.
+pub fn fig3_frame(fr: &FlowFrame, workers: usize) -> Fig3 {
+    fold_rows(fr.len(), workers, |a: &mut Fig3Acc, i| a.absorb(fr, i), Fig3Acc::merge).finish()
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+struct Fig4Acc {
+    by: [[u64; 24]; N_COUNTRY],
+    seen: [bool; N_COUNTRY],
+}
+
+impl Default for Fig4Acc {
+    fn default() -> Self {
+        Fig4Acc { by: [[0; 24]; N_COUNTRY], seen: [false; N_COUNTRY] }
+    }
+}
+
+impl Fig4Acc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let ci = fr.country[i];
+        if ci != NO_COUNTRY {
+            self.by[ci as usize][fr.hour_utc[i] as usize] += fr.flow_bytes(i);
+            self.seen[ci as usize] = true;
+        }
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (av, bv) in self.by.iter_mut().zip(o.by) {
+            for (a, b) in av.iter_mut().zip(bv) {
+                *a += b;
+            }
+        }
+        for (a, b) in self.seen.iter_mut().zip(o.seen) {
+            *a |= b;
+        }
+        self
+    }
+
+    fn finish(self) -> Fig4 {
+        let rows = Country::ALL
+            .into_iter()
+            .filter(|c| self.seen[c.index()])
+            .map(|c| {
+                let bytes = &self.by[c.index()];
+                let max = bytes.iter().copied().max().unwrap_or(0).max(1) as f64;
+                let mut prof = [0.0; 24];
+                for (p, b) in prof.iter_mut().zip(bytes) {
+                    *p = *b as f64 / max;
+                }
+                (c, prof)
+            })
+            .collect();
+        Fig4 { rows }
+    }
+}
+
+/// [`agg::fig4`] as a frame fold.
+pub fn fig4_frame(fr: &FlowFrame, workers: usize) -> Fig4 {
+    fold_rows(fr.len(), workers, |a: &mut Fig4Acc, i| a.absorb(fr, i), Fig4Acc::merge).finish()
+}
+
+// ------------------------------------------------- customer-days (Fig 5–7)
+
+#[derive(Default)]
+struct DaysAcc {
+    map: FxHashMap<(Ipv4Addr, u64), CustomerDay>,
+}
+
+impl DaysAcc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let e = self.map.entry((fr.client[i], u64::from(fr.day[i]))).or_default();
+        e.flows += 1;
+        e.down += fr.bytes_down[i];
+        e.up += fr.bytes_up[i];
+        if fr.category[i] != NO_CATEGORY {
+            *e.by_category.entry(category_of(fr.category[i])).or_default() += fr.flow_bytes(i);
+            e.services.insert(fr.services[fr.service[i] as usize]);
+        }
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (k, cd) in o.map {
+            match self.map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(cd),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(cd);
+                }
+            }
+        }
+        self
+    }
+}
+
+/// [`agg::customer_days`] rebuilt from the frame's pre-resolved
+/// category/service columns — no classifier in sight.
+pub fn customer_days_frame(fr: &FlowFrame, workers: usize) -> FxHashMap<(Ipv4Addr, u64), CustomerDay> {
+    fold_rows(fr.len(), workers, |a: &mut DaysAcc, i| a.absorb(fr, i), DaysAcc::merge).map
+}
+
+/// [`agg::fig5`] from a frame-built customer-day rollup.
+pub fn fig5_frame(fr: &FlowFrame, enr: &Enrichment, workers: usize) -> Fig5 {
+    agg::fig5(&customer_days_frame(fr, workers), enr)
+}
+
+/// [`agg::fig6`] from a frame-built customer-day rollup.
+pub fn fig6_frame(
+    fr: &FlowFrame,
+    enr: &Enrichment,
+    services: &[&'static str],
+    countries: &[Country],
+    workers: usize,
+) -> Fig6 {
+    agg::fig6(&customer_days_frame(fr, workers), enr, services, countries)
+}
+
+/// [`agg::fig7`] from a frame-built customer-day rollup.
+pub fn fig7_frame(fr: &FlowFrame, enr: &Enrichment, countries: &[Country], workers: usize) -> Fig7 {
+    agg::fig7(&customer_days_frame(fr, workers), enr, countries)
+}
+
+// --------------------------------------------------------------- Figure 8a
+
+struct Fig8aAcc {
+    night: [Vec<f64>; N_COUNTRY],
+    peak: [Vec<f64>; N_COUNTRY],
+}
+
+impl Default for Fig8aAcc {
+    fn default() -> Self {
+        Fig8aAcc { night: std::array::from_fn(|_| Vec::new()), peak: std::array::from_fn(|_| Vec::new()) }
+    }
+}
+
+impl Fig8aAcc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let ci = fr.country[i];
+        let rtt = fr.sat_rtt_ms[i];
+        if ci == NO_COUNTRY || rtt.is_nan() {
+            return;
+        }
+        let h = u32::from(fr.local_hour[i]);
+        if agg::is_night(h) {
+            self.night[ci as usize].push(rtt / 1e3);
+        } else if agg::is_peak(h) {
+            self.peak[ci as usize].push(rtt / 1e3);
+        }
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (a, b) in self.night.iter_mut().zip(o.night) {
+            a.extend(b);
+        }
+        for (a, b) in self.peak.iter_mut().zip(o.peak) {
+            a.extend(b);
+        }
+        self
+    }
+
+    fn finish(self, countries: &[Country]) -> Fig8a {
+        let rows = countries
+            .iter()
+            .filter_map(|c| {
+                let n = &self.night[c.index()];
+                let p = &self.peak[c.index()];
+                if n.is_empty() || p.is_empty() {
+                    return None;
+                }
+                Some((*c, satwatch_simcore::stats::Cdf::from_values(n), satwatch_simcore::stats::Cdf::from_values(p)))
+            })
+            .collect();
+        Fig8a { rows }
+    }
+}
+
+/// [`agg::fig8a`] as a frame fold.
+pub fn fig8a_frame(fr: &FlowFrame, countries: &[Country], workers: usize) -> Fig8a {
+    fold_rows(fr.len(), workers, |a: &mut Fig8aAcc, i| a.absorb(fr, i), Fig8aAcc::merge).finish(countries)
+}
+
+// --------------------------------------------------------------- Figure 8b
+
+#[derive(Default)]
+struct Fig8bAcc {
+    samples: FxHashMap<u16, Vec<f64>>,
+}
+
+impl Fig8bAcc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let rtt = fr.sat_rtt_ms[i];
+        if fr.country[i] == NO_COUNTRY || rtt.is_nan() || fr.beam[i] == NO_BEAM {
+            return;
+        }
+        if agg::is_peak(u32::from(fr.local_hour[i])) {
+            self.samples.entry(fr.beam[i]).or_default().push(rtt / 1e3);
+        }
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (k, v) in o.samples {
+            self.samples.entry(k).or_default().extend(v);
+        }
+        self
+    }
+
+    fn finish(self, enr: &Enrichment) -> Fig8b {
+        let max_util = enr.beams.iter().map(|b| b.peak_utilization).fold(0.0f64, f64::max).max(1e-9);
+        let mut rows = Vec::new();
+        for (beam, mut v) in self.samples {
+            let info = &enr.beams[beam as usize];
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = v[v.len() / 2];
+            rows.push((info.name.clone(), info.country, info.peak_utilization / max_util, median, v.len()));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        Fig8b { rows }
+    }
+}
+
+/// [`agg::fig8b`] as a frame fold.
+pub fn fig8b_frame(fr: &FlowFrame, enr: &Enrichment, workers: usize) -> Fig8b {
+    fold_rows(fr.len(), workers, |a: &mut Fig8bAcc, i| a.absorb(fr, i), Fig8bAcc::merge).finish(enr)
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+struct Fig9Acc {
+    samples: [Vec<(f64, f64)>; N_COUNTRY],
+}
+
+impl Default for Fig9Acc {
+    fn default() -> Self {
+        Fig9Acc { samples: std::array::from_fn(|_| Vec::new()) }
+    }
+}
+
+impl Fig9Acc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let ci = fr.country[i];
+        if ci == NO_COUNTRY || fr.ground_rtt_samples[i] == 0 {
+            return;
+        }
+        // chunk-order concatenation keeps these in row order, which
+        // `Cdf::from_weighted` relies on for tie-group weight sums
+        self.samples[ci as usize].push((fr.ground_rtt_avg[i], fr.flow_bytes(i) as f64));
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (a, b) in self.samples.iter_mut().zip(o.samples) {
+            a.extend(b);
+        }
+        self
+    }
+
+    fn finish(self, countries: &[Country]) -> Fig9 {
+        let rows = countries
+            .iter()
+            .filter_map(|c| {
+                let v = &self.samples[c.index()];
+                if v.is_empty() {
+                    return None;
+                }
+                let cdf = satwatch_simcore::stats::Cdf::from_weighted(v);
+                let med = cdf.quantile(0.5);
+                Some((*c, cdf, med))
+            })
+            .collect();
+        Fig9 { rows }
+    }
+}
+
+/// [`agg::fig9`] as a frame fold.
+pub fn fig9_frame(fr: &FlowFrame, countries: &[Country], workers: usize) -> Fig9 {
+    fold_rows(fr.len(), workers, |a: &mut Fig9Acc, i| a.absorb(fr, i), Fig9Acc::merge).finish(countries)
+}
+
+// --------------------------------------------------------------- Figure 11
+
+struct Fig11Acc {
+    all: [Vec<f64>; N_COUNTRY],
+    night: [Vec<f64>; N_COUNTRY],
+    peak: [Vec<f64>; N_COUNTRY],
+}
+
+impl Default for Fig11Acc {
+    fn default() -> Self {
+        Fig11Acc {
+            all: std::array::from_fn(|_| Vec::new()),
+            night: std::array::from_fn(|_| Vec::new()),
+            peak: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+impl Fig11Acc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize) {
+        let ci = fr.country[i];
+        if ci == NO_COUNTRY || fr.bytes_down[i] < THROUGHPUT_MIN_BYTES {
+            return;
+        }
+        let mbps = fr.down_bps[i] / 1e6;
+        if mbps <= 0.0 {
+            return;
+        }
+        self.all[ci as usize].push(mbps);
+        let h = u32::from(fr.local_hour[i]);
+        if agg::is_night(h) {
+            self.night[ci as usize].push(mbps);
+        } else if agg::is_peak(h) {
+            self.peak[ci as usize].push(mbps);
+        }
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (a, b) in self.all.iter_mut().zip(o.all) {
+            a.extend(b);
+        }
+        for (a, b) in self.night.iter_mut().zip(o.night) {
+            a.extend(b);
+        }
+        for (a, b) in self.peak.iter_mut().zip(o.peak) {
+            a.extend(b);
+        }
+        self
+    }
+
+    fn finish(self, countries: &[Country]) -> Fig11 {
+        use satwatch_simcore::stats::{BoxplotSummary, Cdf};
+        let rows = countries
+            .iter()
+            .filter_map(|c| {
+                let v = &self.all[c.index()];
+                if v.is_empty() {
+                    return None;
+                }
+                Some((
+                    *c,
+                    Cdf::from_values(v),
+                    BoxplotSummary::from_values(&self.night[c.index()]),
+                    BoxplotSummary::from_values(&self.peak[c.index()]),
+                ))
+            })
+            .collect();
+        Fig11 { rows }
+    }
+}
+
+/// [`agg::fig11`] as a frame fold.
+pub fn fig11_frame(fr: &FlowFrame, countries: &[Country], workers: usize) -> Fig11 {
+    fold_rows(fr.len(), workers, |a: &mut Fig11Acc, i| a.absorb(fr, i), Fig11Acc::merge).finish(countries)
+}
+
+// ------------------------------------------------------- Table 2 (DNS join)
+
+/// Pre-built DNS side of the Table 2 join: `(client, fqdn)` →
+/// time-sorted lookups, exactly as `agg::table_cdn_selection` builds
+/// it. Built once, shared read-only by all workers.
+pub struct CdnJoin<'a> {
+    lookups: FxHashMap<(Ipv4Addr, &'a str), Vec<(SimTime, ResolverId)>>,
+}
+
+impl<'a> CdnJoin<'a> {
+    pub fn build(dns: &'a [DnsRecord]) -> CdnJoin<'a> {
+        let mut lookups: FxHashMap<(Ipv4Addr, &'a str), Vec<(SimTime, ResolverId)>> = FxHashMap::default();
+        for d in dns {
+            let r = ResolverId::from_address(d.resolver).unwrap_or(ResolverId::Other);
+            lookups.entry((d.client, &*d.query)).or_default().push((d.ts, r));
+        }
+        for v in lookups.values_mut() {
+            v.sort_by_key(|(t, _)| *t);
+        }
+        CdnJoin { lookups }
+    }
+}
+
+/// Freshness window for attributing a flow to a DNS lookup (30 s, as
+/// in the record path).
+const CDN_FRESH: SimDuration = SimDuration::from_secs(30);
+
+#[derive(Default)]
+struct CdnAcc {
+    /// Per-key RTT observations in row order. Kept as a vector (not a
+    /// running sum) so the finisher can reproduce the record path's
+    /// exact left-to-right f64 summation order.
+    acc: FxHashMap<(String, Country, ResolverId), Vec<f64>>,
+}
+
+impl CdnAcc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize, join: &CdnJoin<'_>, countries: &[Country]) {
+        let (Some(c), Some(domain)) = (fr.country_at(i), fr.domain[i].as_deref()) else {
+            return;
+        };
+        if !countries.contains(&c) || fr.ground_rtt_samples[i] == 0 {
+            return;
+        }
+        let Some(entries) = join.lookups.get(&(fr.client[i], domain)) else {
+            return;
+        };
+        let idx = entries.partition_point(|(t, _)| *t <= fr.first[i]);
+        if idx == 0 {
+            return;
+        }
+        let (ts, r) = entries[idx - 1];
+        if fr.first[i] - ts > CDN_FRESH {
+            return; // stale: likely a different device's lookup
+        }
+        let sld = second_level_domain(domain);
+        self.acc.entry((sld, c, r)).or_default().push(fr.ground_rtt_avg[i]);
+    }
+
+    fn merge(mut self, o: Self) -> Self {
+        for (k, v) in o.acc {
+            self.acc.entry(k).or_default().extend(v);
+        }
+        self
+    }
+
+    fn finish(self, min_flows: usize) -> TableCdnSelection {
+        let mut rows: Vec<(String, Country, ResolverId, f64, usize)> = self
+            .acc
+            .into_iter()
+            .filter(|(_, v)| v.len() >= min_flows)
+            .map(|((sld, c, r), v)| {
+                let n = v.len();
+                let sum: f64 = v.into_iter().sum();
+                (sld, c, r, sum / n as f64, n)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        TableCdnSelection { rows }
+    }
+}
+
+/// [`agg::table_cdn_selection`] as a frame fold over a pre-built
+/// [`CdnJoin`].
+pub fn table_cdn_frame(
+    fr: &FlowFrame,
+    dns: &[DnsRecord],
+    countries: &[Country],
+    min_flows: usize,
+    workers: usize,
+) -> TableCdnSelection {
+    let join = CdnJoin::build(dns);
+    fold_rows(fr.len(), workers, |a: &mut CdnAcc, i| a.absorb(fr, i, &join, countries), CdnAcc::merge).finish(min_flows)
+}
+
+// ------------------------------------------------------------ fused sweep
+
+/// All paper outputs at once — the result of one fused frame sweep.
+#[derive(Clone, Debug)]
+pub struct PaperReports {
+    pub table1: Table1,
+    pub fig2: Fig2,
+    pub fig3: Fig3,
+    pub fig4: Fig4,
+    pub fig5: Fig5,
+    pub fig6: Fig6,
+    pub fig7: Fig7,
+    pub fig8a: Fig8a,
+    pub fig8b: Fig8b,
+    pub fig9: Fig9,
+    pub fig10: Fig10,
+    pub table2: TableCdnSelection,
+    pub fig11: Fig11,
+}
+
+impl PaperReports {
+    /// Every report rendered in the CLI `report` command's order.
+    /// `fnv1a(render_all())` is the cross-mode report digest.
+    pub fn render_all(&self) -> String {
+        [
+            self.table1.render(),
+            self.fig2.render(),
+            self.fig3.render(),
+            self.fig4.render(),
+            self.fig5.render(),
+            self.fig6.render(),
+            self.fig7.render(),
+            self.fig8a.render(),
+            self.fig8b.render(),
+            self.fig9.render(),
+            self.fig10.render(),
+            self.table2.render(),
+            self.fig11.render(),
+        ]
+        .join("\n")
+    }
+}
+
+/// The whole-sweep accumulator: one `absorb` touches every figure's
+/// partial state, so a single pass over the columns fills the lot.
+#[derive(Default)]
+struct MegaAcc {
+    table1: Table1Acc,
+    fig2: Fig2Acc,
+    fig3: Fig3Acc,
+    fig4: Fig4Acc,
+    days: DaysAcc,
+    fig8a: Fig8aAcc,
+    fig8b: Fig8bAcc,
+    fig9: Fig9Acc,
+    fig11: Fig11Acc,
+    cdn: CdnAcc,
+}
+
+impl MegaAcc {
+    fn absorb(&mut self, fr: &FlowFrame, i: usize, join: &CdnJoin<'_>, countries: &[Country]) {
+        self.table1.absorb(fr, i);
+        self.fig2.absorb(fr, i);
+        self.fig3.absorb(fr, i);
+        self.fig4.absorb(fr, i);
+        self.days.absorb(fr, i);
+        self.fig8a.absorb(fr, i);
+        self.fig8b.absorb(fr, i);
+        self.fig9.absorb(fr, i);
+        self.fig11.absorb(fr, i);
+        self.cdn.absorb(fr, i, join, countries);
+    }
+
+    fn merge(self, o: Self) -> Self {
+        MegaAcc {
+            table1: self.table1.merge(o.table1),
+            fig2: self.fig2.merge(o.fig2),
+            fig3: self.fig3.merge(o.fig3),
+            fig4: self.fig4.merge(o.fig4),
+            days: self.days.merge(o.days),
+            fig8a: self.fig8a.merge(o.fig8a),
+            fig8b: self.fig8b.merge(o.fig8b),
+            fig9: self.fig9.merge(o.fig9),
+            fig11: self.fig11.merge(o.fig11),
+            cdn: self.cdn.merge(o.cdn),
+        }
+    }
+}
+
+/// Fill every paper output in a single fused sweep over the frame
+/// (plus one pass over the DNS log for Fig 10 and the Table 2 join).
+/// Byte-identical to running the record-based `agg` functions one by
+/// one over the same flows in frame-row order.
+pub fn report_all(
+    fr: &FlowFrame,
+    dns: &[DnsRecord],
+    enr: &Enrichment,
+    countries: &[Country],
+    services: &[&'static str],
+    min_flows: usize,
+    workers: usize,
+) -> PaperReports {
+    let _span = satwatch_telemetry::span("analytics_report_all_us");
+    let join = CdnJoin::build(dns);
+    let mega = fold_rows(fr.len(), workers, |a: &mut MegaAcc, i| a.absorb(fr, i, &join, countries), MegaAcc::merge);
+    let days = mega.days.map;
+    PaperReports {
+        table1: mega.table1.finish(),
+        fig2: mega.fig2.finish(enr),
+        fig3: mega.fig3.finish(),
+        fig4: mega.fig4.finish(),
+        fig5: agg::fig5(&days, enr),
+        fig6: agg::fig6(&days, enr, services, countries),
+        fig7: agg::fig7(&days, enr, countries),
+        fig8a: mega.fig8a.finish(countries),
+        fig8b: mega.fig8b.finish(enr),
+        fig9: mega.fig9.finish(countries),
+        fig10: agg::fig10_par(dns, enr, countries, workers),
+        table2: mega.cdn.finish(min_flows),
+        fig11: mega.fig11.finish(countries),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::BeamInfo;
+    use crate::classify::Classifier;
+    use satwatch_monitor::record::RttSummary;
+    use satwatch_monitor::FlowRecord;
+    use satwatch_simcore::SimDuration;
+
+    fn client(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(77, 0, 0, i)
+    }
+
+    fn flow(c: Ipv4Addr, l7: L7Protocol, down: u64, up: u64, hour: u32, domain: Option<&str>) -> FlowRecord {
+        FlowRecord {
+            client: c,
+            server: Ipv4Addr::new(198, 18, 0, 1),
+            client_port: 50_000,
+            server_port: 443,
+            ip_proto: 6,
+            first: SimTime::from_secs(hour as u64 * 3600),
+            last: SimTime::from_secs(hour as u64 * 3600) + SimDuration::from_secs(10),
+            c2s_packets: 5,
+            c2s_bytes: up,
+            c2s_payload_bytes: up,
+            s2c_packets: 10,
+            s2c_bytes: down,
+            s2c_payload_bytes: down,
+            c2s_retrans: 0,
+            s2c_retrans: 0,
+            early: vec![],
+            syn_seen: true,
+            fin_seen: true,
+            rst_seen: false,
+            ground_rtt: RttSummary { samples: 3, min_ms: 11.0, avg_ms: 12.0, max_ms: 14.0, std_ms: 1.0 },
+            s2c_data_first: None,
+            s2c_data_last: None,
+            sat_rtt_ms: Some(600.0),
+            l7,
+            domain: domain.map(Into::into),
+        }
+    }
+
+    fn enrichment() -> Enrichment {
+        let mut e = Enrichment { days: 1, ..Default::default() };
+        e.country_of.insert(client(1), Country::Congo);
+        e.country_of.insert(client(2), Country::Spain);
+        e.beam_of.insert(client(1), 0);
+        e.beam_of.insert(client(2), 1);
+        e.beams = vec![
+            BeamInfo { name: "cd-0".into(), country: Country::Congo, peak_utilization: 0.9 },
+            BeamInfo { name: "es-0".into(), country: Country::Spain, peak_utilization: 0.45 },
+        ];
+        e
+    }
+
+    fn sample_flows() -> Vec<FlowRecord> {
+        let mut flows = Vec::new();
+        for i in 0..211u32 {
+            let c = client(1 + (i % 3) as u8); // client 3 has no country
+            let l7 = if i % 3 == 0 { L7Protocol::Quic } else { L7Protocol::TlsHttps };
+            let domain = if i % 4 == 0 { Some("video.tiktokv.com") } else { None };
+            let mut f = flow(c, l7, 1_000 + u64::from(i) * 7, 100 + u64::from(i), i % 24, domain);
+            if i % 5 == 0 {
+                f.sat_rtt_ms = None;
+            }
+            if i % 7 == 0 {
+                f.s2c_bytes = THROUGHPUT_MIN_BYTES + u64::from(i);
+            }
+            flows.push(f);
+        }
+        flows
+    }
+
+    fn sample_dns() -> Vec<DnsRecord> {
+        (0..60u64)
+            .map(|i| DnsRecord {
+                client: client(1 + (i % 2) as u8),
+                resolver: if i % 2 == 0 { ResolverId::Google.address() } else { ResolverId::OperatorEu.address() },
+                query: "video.tiktokv.com".into(),
+                ts: SimTime::from_secs(i * 600),
+                response_ms: Some(20.0 + i as f64),
+                answers: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_figures_match_record_figures() {
+        let flows = sample_flows();
+        let dns = sample_dns();
+        let enr = enrichment();
+        let fr = FlowFrame::from_records(&flows, &enr);
+        let classifier = Classifier::standard();
+        let top = [Country::Congo, Country::Spain];
+        for workers in [1, 3] {
+            assert_eq!(format!("{:?}", agg::table1(&flows)), format!("{:?}", table1_frame(&fr, workers)));
+            assert_eq!(format!("{:?}", agg::fig2(&flows, &enr)), format!("{:?}", fig2_frame(&fr, &enr, workers)));
+            assert_eq!(format!("{:?}", agg::fig3(&flows, &enr)), format!("{:?}", fig3_frame(&fr, workers)));
+            assert_eq!(format!("{:?}", agg::fig4(&flows, &enr)), format!("{:?}", fig4_frame(&fr, workers)));
+            assert_eq!(agg::customer_days(&flows, &classifier), customer_days_frame(&fr, workers));
+            assert_eq!(
+                format!("{:?}", agg::fig8a(&flows, &enr, &top)),
+                format!("{:?}", fig8a_frame(&fr, &top, workers))
+            );
+            assert_eq!(format!("{:?}", agg::fig8b(&flows, &enr)), format!("{:?}", fig8b_frame(&fr, &enr, workers)));
+            assert_eq!(format!("{:?}", agg::fig9(&flows, &enr, &top)), format!("{:?}", fig9_frame(&fr, &top, workers)));
+            assert_eq!(
+                format!("{:?}", agg::fig11(&flows, &enr, &top)),
+                format!("{:?}", fig11_frame(&fr, &top, workers))
+            );
+            assert_eq!(
+                format!("{:?}", agg::table_cdn_selection(&flows, &dns, &enr, &top, 1)),
+                format!("{:?}", table_cdn_frame(&fr, &dns, &top, 1, workers))
+            );
+        }
+    }
+
+    #[test]
+    fn fused_sweep_matches_individual_folds() {
+        let flows = sample_flows();
+        let dns = sample_dns();
+        let enr = enrichment();
+        let fr = FlowFrame::from_records(&flows, &enr);
+        let top = [Country::Congo, Country::Spain];
+        let services = ["Tiktok", "Google"];
+        for workers in [1, 4] {
+            let all = report_all(&fr, &dns, &enr, &top, &services, 1, workers);
+            assert_eq!(format!("{:?}", all.table1), format!("{:?}", table1_frame(&fr, 1)));
+            assert_eq!(format!("{:?}", all.fig4), format!("{:?}", fig4_frame(&fr, 1)));
+            assert_eq!(format!("{:?}", all.fig9), format!("{:?}", fig9_frame(&fr, &top, 1)));
+            assert_eq!(format!("{:?}", all.table2), format!("{:?}", table_cdn_frame(&fr, &dns, &top, 1, 1)));
+            assert_eq!(format!("{:?}", all.fig6), format!("{:?}", fig6_frame(&fr, &enr, &services, &top, 1)));
+            assert!(!all.render_all().is_empty());
+        }
+    }
+}

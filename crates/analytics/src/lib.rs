@@ -8,6 +8,11 @@
 //! * [`classify`] — Table 3 classifier + second-level-domain
 //!   extraction (two-label TLD aware).
 //! * [`agg`] — aggregation builders from monitor records to reports.
+//! * [`frame`] — struct-of-arrays [`FlowFrame`] with pre-resolved
+//!   enrichment columns, buildable incrementally from an eviction
+//!   stream.
+//! * [`engine`] — every figure as a fold over the frame, plus the
+//!   fused [`report_all`] single-pass sweep.
 //! * [`report`] — typed report structs with text renderers.
 //! * [`topdomains`] — the top-domain rankings behind the paper's
 //!   manual service-list curation.
@@ -27,9 +32,13 @@ pub mod agg;
 pub mod ascii;
 pub mod classify;
 pub mod csv;
+pub mod engine;
+pub mod frame;
 pub mod report;
 pub mod topdomains;
 
 pub use agg::{customer_days, Enrichment};
-pub use classify::{second_level_domain, Classifier};
+pub use classify::{second_level_domain, Classifier, ClassifyCache};
+pub use engine::{report_all, PaperReports};
+pub use frame::{FlowFrame, FrameBuilder};
 pub use topdomains::{top_domains, TopDomains};

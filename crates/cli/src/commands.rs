@@ -21,6 +21,11 @@ commands:
                 --logs DIR --figure {all|table1|…}
   report      run a scenario and render figures/tables
                 --figure {all|table1|fig2|...|fig11|table2}
+                --report-mode {records|columnar}
+                             records: per-figure passes over the flow
+                             record slice; columnar: stream evicted
+                             flows into a column frame and run the
+                             fused one-pass sweep (same bytes out)
                 --csv DIR    also write plot-ready CSVs
   profiles    fit and export ERRANT emulation profiles
                 --out FILE (default: stdout)
@@ -31,6 +36,12 @@ commands:
   rules       print the Table 3 service-classification rule set
   bench       time the pipeline at 1/2/4/8 workers, write JSON results
                 --out FILE (default: BENCH_parallel.json)
+                --report-mode {records|columnar|streaming}
+                          which analytics path to time (default
+                          records; streaming ingests evicted flows
+                          straight into the frame as they finish)
+                --replicate N  tile the dataset N× before analytics so
+                          analytics_ms is measurable (default 1)
                 --smoke   tiny single-worker workload; exercises the
                           bench path in CI without meaningful timings
   help        show this message
@@ -216,6 +227,11 @@ fn simulate(args: &Args) -> Result<(), Box<dyn Error>> {
 
 fn report(args: &Args) -> Result<(), Box<dyn Error>> {
     let cfg = scenario_from(args)?;
+    match args.get("report-mode").unwrap_or("records") {
+        "records" => {}
+        "columnar" => return report_columnar(args, cfg),
+        other => return Err(format!("unknown --report-mode {other:?} (try records, columnar)").into()),
+    }
     let which = args.get("figure").unwrap_or("all").to_ascii_lowercase();
     let ds = run_with_banner(cfg);
     let mut printed = false;
@@ -283,6 +299,101 @@ fn report(args: &Args) -> Result<(), Box<dyn Error>> {
         fs::write(d.join("fig10.csv"), csv::fig10_csv(&experiments::fig10(&ds)))?;
         fs::write(d.join("table2.csv"), csv::table_cdn_csv(&experiments::table_cdn(&ds, 5)))?;
         fs::write(d.join("fig11.csv"), csv::fig11_csv(&experiments::fig11(&ds), 200))?;
+        eprintln!("wrote 13 CSV files to {dir}");
+    }
+    Ok(())
+}
+
+/// `report --report-mode columnar`: the same figures and tables, but
+/// produced by the streaming ingest path — evicted flows go straight
+/// into a [`satwatch_analytics::FlowFrame`] (the full record vector is
+/// never materialised) and every output comes from the fused
+/// single-sweep `report_all`. Output is byte-identical to the records
+/// path; the equivalence is pinned by `columnar_equivalence.rs`.
+fn report_columnar(args: &Args, cfg: ScenarioConfig) -> Result<(), Box<dyn Error>> {
+    let workers = cfg.threads.max(1);
+    eprintln!(
+        "simulating {} customers × {} day(s), seed {} (columnar streaming ingest) …",
+        cfg.customers, cfg.days, cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let cds = satwatch_scenario::run_streaming(cfg);
+    eprintln!(
+        "done in {:.1?}: {} packets, {} flows, {} DNS transactions",
+        t0.elapsed(),
+        cds.packets,
+        cds.frame.len(),
+        cds.dns.len()
+    );
+    let reports = experiments::paper_reports_columnar(&cds.frame, &cds.dns, &cds.enrichment, 10, workers);
+    let which = args.get("figure").unwrap_or("all").to_ascii_lowercase();
+    let mut printed = false;
+    let mut want = |name: &str| {
+        let hit = which == "all" || which == name;
+        printed |= hit;
+        hit
+    };
+    if want("table1") {
+        println!("{}", reports.table1.render());
+    }
+    if want("fig2") {
+        println!("{}", reports.fig2.render());
+    }
+    if want("fig3") {
+        println!("{}", reports.fig3.render());
+    }
+    if want("fig4") {
+        println!("{}", reports.fig4.render());
+    }
+    if want("fig5") {
+        println!("{}", reports.fig5.render());
+    }
+    if want("fig6") {
+        println!("{}", reports.fig6.render());
+    }
+    if want("fig7") {
+        println!("{}", reports.fig7.render());
+    }
+    if want("fig8a") {
+        println!("{}", reports.fig8a.render());
+    }
+    if want("fig8b") {
+        println!("{}", reports.fig8b.render());
+    }
+    if want("fig9") {
+        println!("{}", reports.fig9.render());
+    }
+    if want("fig10") {
+        println!("{}", reports.fig10.render());
+    }
+    if want("table2") {
+        println!("{}", reports.table2.render());
+    }
+    if want("fig11") {
+        println!("{}", reports.fig11.render());
+    }
+    if !printed {
+        return Err(format!("unknown figure {which:?} (try table1, fig2..fig11, table2, all)").into());
+    }
+    if let Some(dir) = args.get("csv") {
+        use satwatch_analytics::csv;
+        fs::create_dir_all(dir)?;
+        let d = Path::new(dir);
+        fs::write(d.join("table1.csv"), csv::table1_csv(&reports.table1))?;
+        fs::write(d.join("fig2.csv"), csv::fig2_csv(&reports.fig2))?;
+        fs::write(d.join("fig3.csv"), csv::fig3_csv(&reports.fig3))?;
+        fs::write(d.join("fig4.csv"), csv::fig4_csv(&reports.fig4))?;
+        fs::write(d.join("fig5.csv"), csv::fig5_csv(&reports.fig5, 200))?;
+        fs::write(d.join("fig6.csv"), csv::fig6_csv(&reports.fig6))?;
+        fs::write(d.join("fig7.csv"), csv::fig7_csv(&reports.fig7))?;
+        fs::write(d.join("fig8a.csv"), csv::fig8a_csv(&reports.fig8a, 200))?;
+        fs::write(d.join("fig8b.csv"), csv::fig8b_csv(&reports.fig8b))?;
+        fs::write(d.join("fig9.csv"), csv::fig9_csv(&reports.fig9, 200))?;
+        fs::write(d.join("fig10.csv"), csv::fig10_csv(&reports.fig10))?;
+        // the CSV export keeps the records path's lower flow floor
+        let table2_csv = satwatch_analytics::engine::table_cdn_frame(&cds.frame, &cds.dns, &Country::TOP6, 5, workers);
+        fs::write(d.join("table2.csv"), csv::table_cdn_csv(&table2_csv))?;
+        fs::write(d.join("fig11.csv"), csv::fig11_csv(&reports.fig11, 200))?;
         eprintln!("wrote 13 CSV files to {dir}");
     }
     Ok(())
@@ -402,16 +513,116 @@ fn paper_check(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// The min-flows floor the bench's full report sweep runs at (matches
+/// the `report` command's Table 2 default).
+const BENCH_MIN_FLOWS: usize = 10;
+
+/// One timed bench iteration; which pipeline ran is up to the caller.
+struct BenchRun {
+    scenario_s: f64,
+    agg_s: f64,
+    packets: u64,
+    /// Analytics input rows (after `--replicate` tiling).
+    rows: usize,
+    /// Digest of the serialized dataset; `None` for the streaming
+    /// path, which never materialises the record vector.
+    dataset_digest: Option<u64>,
+    /// FNV-1a over the rendered paper report — the cross-mode
+    /// equivalence witness (records == columnar == streaming).
+    report_digest: u64,
+}
+
+fn bench_once(mode: &str, cfg: ScenarioConfig, replicate: usize, workers: usize) -> BenchRun {
+    use satwatch_analytics::FlowFrame;
+    use satwatch_scenario::digest::fnv1a;
+    match mode {
+        // Baseline: per-figure passes over the flow-record slice.
+        "records" => {
+            let t0 = std::time::Instant::now();
+            let ds = run(cfg);
+            let scenario_s = t0.elapsed().as_secs_f64();
+            let tiled: Vec<satwatch_monitor::FlowRecord>;
+            let flows: &[satwatch_monitor::FlowRecord] = if replicate > 1 {
+                tiled = (0..replicate).flat_map(|_| ds.flows.iter().cloned()).collect();
+                &tiled
+            } else {
+                &ds.flows
+            };
+            let t1 = std::time::Instant::now();
+            let reports = experiments::paper_reports_records(flows, &ds.dns, &ds.enrichment, BENCH_MIN_FLOWS, workers);
+            let agg_s = t1.elapsed().as_secs_f64();
+            let report_digest = fnv1a(reports.render_all().as_bytes());
+            std::hint::black_box(&reports);
+            BenchRun {
+                scenario_s,
+                agg_s,
+                packets: ds.packets,
+                rows: flows.len(),
+                dataset_digest: Some(satwatch_scenario::dataset_digest(&ds)),
+                report_digest,
+            }
+        }
+        // Columnar: frame build + fused one-pass sweep are both on the
+        // analytics clock — that is the path being sold.
+        "columnar" => {
+            let t0 = std::time::Instant::now();
+            let ds = run(cfg);
+            let scenario_s = t0.elapsed().as_secs_f64();
+            let t1 = std::time::Instant::now();
+            let mut fr = FlowFrame::from_records(&ds.flows, &ds.enrichment);
+            if replicate > 1 {
+                fr = fr.replicate(replicate);
+            }
+            let reports = experiments::paper_reports_columnar(&fr, &ds.dns, &ds.enrichment, BENCH_MIN_FLOWS, workers);
+            let agg_s = t1.elapsed().as_secs_f64();
+            let report_digest = fnv1a(reports.render_all().as_bytes());
+            std::hint::black_box(&reports);
+            BenchRun {
+                scenario_s,
+                agg_s,
+                packets: ds.packets,
+                rows: fr.len(),
+                dataset_digest: Some(satwatch_scenario::dataset_digest(&ds)),
+                report_digest,
+            }
+        }
+        // Streaming: evicted flows feed the frame during the run, so
+        // the frame build cost is inside scenario_s and peak RSS is
+        // bounded by live flows, not total flows.
+        "streaming" => {
+            let t0 = std::time::Instant::now();
+            let cds = satwatch_scenario::run_streaming(cfg);
+            let scenario_s = t0.elapsed().as_secs_f64();
+            let t1 = std::time::Instant::now();
+            let fr = if replicate > 1 { cds.frame.replicate(replicate) } else { cds.frame };
+            let reports = experiments::paper_reports_columnar(&fr, &cds.dns, &cds.enrichment, BENCH_MIN_FLOWS, workers);
+            let agg_s = t1.elapsed().as_secs_f64();
+            let report_digest = fnv1a(reports.render_all().as_bytes());
+            std::hint::black_box(&reports);
+            BenchRun { scenario_s, agg_s, packets: cds.packets, rows: fr.len(), dataset_digest: None, report_digest }
+        }
+        other => unreachable!("mode {other:?} validated by bench()"),
+    }
+}
+
 /// Time the end-to-end pipeline (scenario generation + sharded probe +
-/// the parallel aggregations) at 1/2/4/8 workers and write a
+/// the full paper-report sweep) at 1/2/4/8 workers and write a
 /// machine-readable summary. The JSON is hand-rolled — the offline
 /// crate set has no serde — but the schema is stable:
-/// `{workload, cores, peak_rss_bytes, runs: [{workers, wall_ms, …,
-/// digest, metrics}]}`. Each run carries the dataset digest (all runs
-/// must agree — the determinism contract) and the telemetry snapshot
+/// `{workload, report_mode, replicate, cores, peak_rss_bytes, runs:
+/// [{workers, wall_ms, …, digest, report_digest, metrics}]}`. Each run
+/// carries the dataset digest (all worker counts must agree — the
+/// determinism contract; absent in streaming mode, which never holds
+/// the record vector) and the report digest (identical across modes —
+/// the columnar-equivalence contract), plus the telemetry snapshot
 /// delta covering exactly that run.
 fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
     let smoke = args.flag("smoke");
+    let mode = args.get("report-mode").unwrap_or("records");
+    if !matches!(mode, "records" | "columnar" | "streaming") {
+        return Err(format!("unknown --report-mode {mode:?} (try records, columnar, streaming)").into());
+    }
+    let replicate = args.get_parsed("replicate", 1usize)?.max(1);
     let base = if smoke {
         // CI mode: prove the bench path compiles and executes; the
         // timings of a 12-customer run are not meaningful.
@@ -423,10 +634,14 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
     let cores = satwatch_simcore::available_parallelism().max(1);
     let worker_counts: Vec<usize> =
         if smoke { vec![1] } else { [1usize, 2, 4, 8].iter().copied().filter(|&w| w <= cores * 2).collect() };
-    let workload = format!("{} customers x {} day(s), seed {}", base.customers, base.days, base.seed);
+    let workload = format!(
+        "{} customers x {} day(s), seed {}, replicate {replicate}, {mode} analytics",
+        base.customers, base.days, base.seed
+    );
     eprintln!("benchmarking {workload} at {worker_counts:?} workers …");
     let mut runs = Vec::new();
-    let mut reference: Option<u64> = None;
+    let mut dataset_ref: Option<u64> = None;
+    let mut report_ref: Option<u64> = None;
     for &w in &worker_counts {
         // The shared resolver warns (and raises the telemetry gauge)
         // when a count exceeds the cores the runner actually has —
@@ -436,25 +651,27 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
         let oversubscribed = resolved > cores;
         let cfg = base.with_threads(resolved).with_probe_shards(resolved);
         let before = satwatch_telemetry::Snapshot::take();
-        let t0 = std::time::Instant::now();
-        let ds = run(cfg);
-        let scenario_s = t0.elapsed().as_secs_f64();
-        let t1 = std::time::Instant::now();
-        let t1r = satwatch_analytics::agg::table1_par(&ds.flows, resolved);
-        let f2r = satwatch_analytics::agg::fig2_par(&ds.flows, &ds.enrichment, resolved);
-        let agg_s = t1.elapsed().as_secs_f64();
-        std::hint::black_box((&t1r, &f2r));
+        let r = bench_once(mode, cfg, replicate, resolved);
         let metrics = satwatch_telemetry::Snapshot::take().delta(&before);
-        let wall_s = scenario_s + agg_s;
-        // cross-check: every worker count must produce the
-        // byte-identical dataset
-        let digest = satwatch_scenario::dataset_digest(&ds);
-        match reference {
-            None => reference = Some(digest),
-            Some(r) => assert_eq!(r, digest, "worker count changed the dataset"),
+        let wall_s = r.scenario_s + r.agg_s;
+        // cross-checks: every worker count must produce the
+        // byte-identical dataset and the byte-identical report
+        if let Some(digest) = r.dataset_digest {
+            match dataset_ref {
+                None => dataset_ref = Some(digest),
+                Some(d) => assert_eq!(d, digest, "worker count changed the dataset"),
+            }
         }
-        let pps = ds.packets as f64 / scenario_s;
-        eprintln!("  workers={w}: {:.2}s scenario + {:.3}s analytics, {:.0} packets/s", scenario_s, agg_s, pps);
+        match report_ref {
+            None => report_ref = Some(r.report_digest),
+            Some(d) => assert_eq!(d, r.report_digest, "worker count changed the report"),
+        }
+        let pps = r.packets as f64 / r.scenario_s;
+        eprintln!(
+            "  workers={w}: {:.2}s scenario + {:.3}s analytics ({} rows), {:.0} packets/s",
+            r.scenario_s, r.agg_s, r.rows, pps
+        );
+        let digest_field = r.dataset_digest.map_or(String::new(), |d| format!(", \"digest\": \"{d:#018x}\""));
         let flags = if oversubscribed { ", \"oversubscribed\": true" } else { "" };
         // the snapshot delta is already JSON; re-indent to nest it
         let metrics_json = metrics.to_json().trim_end().replace('\n', "\n    ");
@@ -462,24 +679,34 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
             concat!(
                 "    {{\"workers\": {}, \"wall_ms\": {:.1}, \"scenario_ms\": {:.1}, ",
                 "\"analytics_ms\": {:.1}, \"packets\": {}, \"packets_per_sec\": {:.0}, ",
-                "\"flows\": {}, \"digest\": \"{:#018x}\"{},\n    \"metrics\": {}}}"
+                "\"flows\": {}, \"report_digest\": \"{:#018x}\"{}{},\n    \"metrics\": {}}}"
             ),
             w,
             wall_s * 1e3,
-            scenario_s * 1e3,
-            agg_s * 1e3,
-            ds.packets,
+            r.scenario_s * 1e3,
+            r.agg_s * 1e3,
+            r.packets,
             pps,
-            ds.flows.len(),
-            digest,
+            r.rows,
+            r.report_digest,
+            digest_field,
             flags,
             metrics_json
         ));
     }
     let peak_rss = satwatch_telemetry::peak_rss_bytes().map_or("null".to_string(), |b| b.to_string());
     let json = format!(
-        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {cores},\n  \"peak_rss_bytes\": {peak_rss},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        runs.join(",\n")
+        concat!(
+            "{{\n  \"workload\": \"{workload}\",\n  \"report_mode\": \"{mode}\",\n",
+            "  \"replicate\": {replicate},\n  \"cores\": {cores},\n",
+            "  \"peak_rss_bytes\": {peak_rss},\n  \"runs\": [\n{runs}\n  ]\n}}\n"
+        ),
+        workload = workload,
+        mode = mode,
+        replicate = replicate,
+        cores = cores,
+        peak_rss = peak_rss,
+        runs = runs.join(",\n")
     );
     fs::write(out_path, &json)?;
     eprintln!("wrote {out_path}");
@@ -640,5 +867,37 @@ mod tests {
     fn report_rejects_unknown_figure() {
         let a = parse(&["report", "--customers", "10", "--figure", "fig99"]);
         assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn report_columnar_mode_renders() {
+        let a = parse(&["report", "--report-mode", "columnar", "--figure", "table1", "--customers", "8"]);
+        dispatch(&a).unwrap();
+        let bad = parse(&["report", "--report-mode", "rowwise", "--customers", "8"]);
+        assert!(dispatch(&bad).is_err());
+    }
+
+    #[test]
+    fn bench_smoke_modes_share_one_report_digest() {
+        let dir = std::env::temp_dir().join(format!("satwatch-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec_path = dir.join("records.json");
+        let strm_path = dir.join("streaming.json");
+        let rec_s = rec_path.to_str().unwrap().to_string();
+        let strm_s = strm_path.to_str().unwrap().to_string();
+        dispatch(&parse(&["bench", "--smoke", "--customers", "8", "--out", &rec_s])).unwrap();
+        dispatch(&parse(&["bench", "--smoke", "--customers", "8", "--report-mode", "streaming", "--out", &strm_s]))
+            .unwrap();
+        let rec = std::fs::read_to_string(&rec_path).unwrap();
+        let strm = std::fs::read_to_string(&strm_path).unwrap();
+        let grab = |s: &str| {
+            let tag = "\"report_digest\": \"";
+            let i = s.find(tag).expect("bench JSON has a report digest") + tag.len();
+            s[i..i + 18].to_string()
+        };
+        assert_eq!(grab(&rec), grab(&strm), "records and streaming disagree on the rendered report");
+        assert!(rec.contains("\"digest\": \""), "records mode carries the dataset digest");
+        assert!(!strm.contains("\"digest\": \""), "streaming mode never materialises the record vector");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

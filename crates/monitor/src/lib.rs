@@ -60,6 +60,6 @@ pub mod sharded;
 pub use anon::CryptoPan;
 pub use flowtable::{Direction, FlowTable, FlowTableConfig};
 pub use intern::{Domain, DomainInterner};
-pub use probe::{Probe, ProbeConfig};
+pub use probe::{flow_sort_key, FlowSink, Probe, ProbeConfig};
 pub use record::{DnsRecord, FlowRecord, L7Protocol, RttSummary};
 pub use sharded::ShardedProbe;

@@ -65,6 +65,15 @@ impl ProbeConfig {
     }
 }
 
+/// Consumer of evicted flow records. When installed, the probe hands
+/// each finished flow (already anonymized) to the sink as soon as it
+/// leaves the flow table, instead of accumulating it for `finish()` —
+/// so a streaming consumer bounds peak memory by the *live*-flow
+/// count. Records arrive in eviction order, which is not the
+/// canonical output order; consumers that need it must re-sort by
+/// [`flow_sort_key`] (analytics' `FrameBuilder::seal` does).
+pub type FlowSink = Box<dyn FnMut(FlowRecord) + Send>;
+
 /// Key of an in-flight DNS transaction.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct DnsKey {
@@ -88,6 +97,7 @@ pub struct Probe {
     /// triples, touched for every DNS packet.
     pending_dns: FxHashMap<DnsKey, PendingDns>,
     dns_log: Vec<DnsRecord>,
+    flow_sink: Option<FlowSink>,
     last_sweep: SimTime,
     /// Total packets observed.
     pub packets: u64,
@@ -102,11 +112,19 @@ impl Probe {
             anon: CryptoPan::new(cfg.anon_seed),
             pending_dns: fx_map_with_capacity(64),
             dns_log: Vec::new(),
+            flow_sink: None,
             last_sweep: SimTime::ZERO,
             packets: 0,
             parse_errors: 0,
             cfg,
         }
+    }
+
+    /// Install a [`FlowSink`]: stream evicted flows out instead of
+    /// accumulating them. `finish()` then returns an empty flow vector
+    /// — every record has already gone through the sink.
+    pub fn set_flow_sink(&mut self, sink: FlowSink) {
+        self.flow_sink = Some(sink);
     }
 
     /// Observe one packet at the span port.
@@ -126,6 +144,7 @@ impl Probe {
         metrics().packets.inc();
         self.table.process(t, pkt);
         self.maybe_log_dns(t, pkt);
+        self.drain_to_sink();
     }
 
     /// Run the idle-flow sweep and DNS expiry now, resetting the
@@ -134,6 +153,17 @@ impl Probe {
         self.table.sweep(t);
         self.expire_dns(t);
         self.last_sweep = t;
+        self.drain_to_sink();
+    }
+
+    /// Hand finished flows to the sink, anonymizing on the way out —
+    /// the same transformation `finish()` applies, just incremental.
+    fn drain_to_sink(&mut self) {
+        let Some(sink) = &mut self.flow_sink else { return };
+        for mut f in self.table.drain_finished() {
+            f.client = self.anon.anonymize(f.client);
+            sink(f);
+        }
     }
 
     /// Observe a packet from raw wire bytes (exercises the full parse
@@ -241,6 +271,14 @@ impl Probe {
         for f in &mut flows {
             f.client = self.anon.anonymize(f.client);
         }
+        if let Some(sink) = &mut self.flow_sink {
+            // streaming mode: the final flush goes through the sink
+            // like every earlier eviction did; the consumer owns the
+            // records and the ordering
+            for f in flows.drain(..) {
+                sink(f);
+            }
+        }
         // canonical output order regardless of eviction history
         flows.sort_by_key(flow_sort_key);
         let mut dns = self.dns_log;
@@ -258,7 +296,9 @@ impl Probe {
 /// flow sharing addresses, ports and start time), so sorting the
 /// concatenation of per-shard outputs reproduces the single-probe
 /// order exactly — the property the sharded probe's merge relies on.
-pub(crate) fn flow_sort_key(f: &FlowRecord) -> (SimTime, Ipv4Addr, u16, Ipv4Addr, u16, u8) {
+/// Public so streaming consumers (the columnar `FrameBuilder`) can
+/// restore this order after ingesting evictions out of order.
+pub fn flow_sort_key(f: &FlowRecord) -> (SimTime, Ipv4Addr, u16, Ipv4Addr, u16, u8) {
     (f.first, f.client, f.client_port, f.server, f.server_port, f.ip_proto)
 }
 

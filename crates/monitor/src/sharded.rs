@@ -33,7 +33,7 @@
 //!    flows, and DNS ties always share a shard, so the merged order
 //!    equals the single-probe order.
 
-use crate::probe::{dns_cmp, flow_sort_key, Probe, ProbeConfig};
+use crate::probe::{dns_cmp, flow_sort_key, FlowSink, Probe, ProbeConfig};
 use crate::record::{DnsRecord, FlowRecord};
 use satwatch_netstack::Packet;
 use satwatch_simcore::{fx_hash_one, resolve_workers, SimDuration, SimTime};
@@ -81,19 +81,47 @@ pub struct ShardedProbe {
 
 impl ShardedProbe {
     pub fn new(cfg: ProbeConfig, shards: usize) -> ShardedProbe {
+        Self::build(cfg, shards, &mut None::<fn(usize) -> FlowSink>)
+    }
+
+    /// A sharded probe whose shards stream evicted flows into sinks
+    /// instead of accumulating them: `make_sink(shard)` is called once
+    /// per shard, on the caller's thread, before the shard starts.
+    /// `finish()` then returns an empty flow vector. Evictions reach
+    /// the sinks in per-shard eviction order — any global order must
+    /// be restored by the consumer (sort by [`flow_sort_key`]).
+    pub fn with_flow_sink<F>(cfg: ProbeConfig, shards: usize, make_sink: F) -> ShardedProbe
+    where
+        F: FnMut(usize) -> FlowSink,
+    {
+        Self::build(cfg, shards, &mut Some(make_sink))
+    }
+
+    fn build<F>(cfg: ProbeConfig, shards: usize, make_sink: &mut Option<F>) -> ShardedProbe
+    where
+        F: FnMut(usize) -> FlowSink,
+    {
         let shards = resolve_workers(shards);
         let mode = if shards <= 1 {
-            Mode::Single(Box::new(Probe::new(cfg)))
+            let mut probe = Probe::new(cfg);
+            if let Some(f) = make_sink {
+                probe.set_flow_sink(f(0));
+            }
+            Mode::Single(Box::new(probe))
         } else {
             let mut senders = Vec::with_capacity(shards);
             let mut workers = Vec::with_capacity(shards);
             for shard in 0..shards {
                 let (tx, rx) = sync_channel::<ShardMsg>(SHARD_QUEUE_DEPTH);
                 senders.push(tx);
+                let sink: Option<FlowSink> = make_sink.as_mut().map(|f| f(shard));
                 let builder = std::thread::Builder::new().name(format!("probe-shard-{shard}"));
                 let handle = builder
                     .spawn(move || {
                         let mut probe = Probe::new(cfg);
+                        if let Some(sink) = sink {
+                            probe.set_flow_sink(sink);
+                        }
                         // resolved once per worker: the registry mutex
                         // stays off the per-packet path
                         let shard_packets = satwatch_telemetry::counter_with(
@@ -260,6 +288,29 @@ mod tests {
             let a = Ipv4Addr::new(10, 1, 2, 3);
             let b = Ipv4Addr::new(198, 18, 0, 7);
             assert_eq!(shard_of(a, b, n), shard_of(b, a, n));
+        }
+    }
+
+    #[test]
+    fn sink_streams_same_flows_as_batch_finish() {
+        use std::sync::{Arc, Mutex};
+        let (batch_flows, batch_dns) = run_with_shards(1);
+        for shards in [1usize, 4] {
+            let collected: Arc<Mutex<Vec<FlowRecord>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut probe = ShardedProbe::with_flow_sink(cfg(), shards, |_shard| {
+                let collected = Arc::clone(&collected);
+                Box::new(move |f| collected.lock().unwrap().push(f)) as FlowSink
+            });
+            for (time, pkt) in stream() {
+                probe.observe(time, &pkt);
+            }
+            let (rest, dns) = probe.finish();
+            assert!(rest.is_empty(), "sink mode returns no batch flows");
+            assert_eq!(dns, batch_dns, "dns path unaffected by the sink");
+            let mut streamed = Arc::try_unwrap(collected).unwrap().into_inner().unwrap();
+            // eviction order is not canonical; the sort key recovers it
+            streamed.sort_by_key(flow_sort_key);
+            assert_eq!(streamed, batch_flows, "shards={shards}");
         }
     }
 

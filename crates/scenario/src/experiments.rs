@@ -6,7 +6,8 @@
 use crate::run::Dataset;
 use satwatch_analytics::agg::{self, Enrichment};
 use satwatch_analytics::report::*;
-use satwatch_analytics::Classifier;
+use satwatch_analytics::{Classifier, PaperReports};
+use satwatch_monitor::{DnsRecord, FlowRecord};
 use satwatch_traffic::Country;
 
 /// The Fig 6 service subset (services the user intentionally visits).
@@ -87,6 +88,53 @@ pub fn table_cdn(ds: &Dataset, min_flows: usize) -> TableCdnSelection {
 
 pub fn fig11(ds: &Dataset) -> Fig11 {
     agg::fig11(&ds.flows, &ds.enrichment, &Country::TOP6)
+}
+
+/// Every paper output from the record path — the slice-based baseline
+/// the columnar engine's `report_all` is pinned byte-identical to.
+/// One `customer_days` rollup is shared by Figs 5–7 (the classifier
+/// memoizes per interned domain handle, so repeated SNIs cost one
+/// pattern scan each).
+pub fn paper_reports_records(
+    flows: &[FlowRecord],
+    dns: &[DnsRecord],
+    enr: &Enrichment,
+    min_flows: usize,
+    workers: usize,
+) -> PaperReports {
+    let classifier = Classifier::standard();
+    let days = agg::customer_days_par(flows, &classifier, workers);
+    PaperReports {
+        table1: agg::table1_par(flows, workers),
+        fig2: agg::fig2_par(flows, enr, workers),
+        fig3: agg::fig3_par(flows, enr, workers),
+        fig4: agg::fig4_par(flows, enr, workers),
+        fig5: agg::fig5(&days, enr),
+        fig6: agg::fig6(&days, enr, &FIG6_SERVICES, &Country::TOP6),
+        fig7: agg::fig7(&days, enr, &Country::TOP6),
+        fig8a: agg::fig8a(flows, enr, &Country::TOP6),
+        fig8b: agg::fig8b(flows, enr),
+        fig9: agg::fig9(flows, enr, &Country::TOP6),
+        fig10: agg::fig10_par(dns, enr, &Country::TOP6, workers),
+        table2: agg::table_cdn_selection(flows, dns, enr, &Country::TOP6, min_flows),
+        fig11: agg::fig11(flows, enr, &Country::TOP6),
+    }
+}
+
+/// [`paper_reports_records`] over a dataset.
+pub fn paper_reports(ds: &Dataset, min_flows: usize, workers: usize) -> PaperReports {
+    paper_reports_records(&ds.flows, &ds.dns, &ds.enrichment, min_flows, workers)
+}
+
+/// The columnar twin: frame + fused sweep, same outputs byte for byte.
+pub fn paper_reports_columnar(
+    fr: &satwatch_analytics::FlowFrame,
+    dns: &[DnsRecord],
+    enr: &Enrichment,
+    min_flows: usize,
+    workers: usize,
+) -> PaperReports {
+    satwatch_analytics::report_all(fr, dns, enr, &Country::TOP6, &FIG6_SERVICES, min_flows, workers)
 }
 
 /// Summary statistics for ablation comparisons.

@@ -16,4 +16,4 @@ pub mod run;
 pub use config::ScenarioConfig;
 pub use digest::dataset_digest;
 pub use flowsim::NetModel;
-pub use run::{build_enrichment, run, run_with_tap, Dataset};
+pub use run::{build_enrichment, run, run_streaming, run_with_tap, ColumnarDataset, Dataset};

@@ -58,15 +58,30 @@ pub struct Dataset {
     pub packets: u64,
 }
 
-/// Run a scenario to completion.
-pub fn run(cfg: ScenarioConfig) -> Dataset {
-    run_with_tap(cfg, |_, _| {})
+/// A scenario run with the flow log already columnar: the probe
+/// streamed every evicted flow straight into a `FrameBuilder`, so no
+/// `Vec<FlowRecord>` for the whole capture ever existed — peak memory
+/// is bounded by the *live*-flow count, not the total flow count.
+pub struct ColumnarDataset {
+    pub frame: satwatch_analytics::FlowFrame,
+    pub dns: Vec<DnsRecord>,
+    pub enrichment: Enrichment,
+    /// Total packets the probe observed.
+    pub packets: u64,
 }
 
-/// Run a scenario, additionally invoking `tap` for every packet the
-/// span port observes (e.g. a pcap writer). The tap sees packets in
-/// global time order, exactly as the probe does.
-pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) -> Dataset {
+/// Everything `run`/`run_streaming` share: the deterministic inputs
+/// derived from the config before a single packet moves.
+struct SimSetup {
+    seeds: SeedTree,
+    population: Population,
+    catalog: Vec<satwatch_traffic::ServiceSpec>,
+    model: NetModel,
+    anon_seed: u64,
+    probe_cfg: ProbeConfig,
+}
+
+fn setup(cfg: ScenarioConfig) -> SimSetup {
     let seeds = SeedTree::new(cfg.seed);
     let population = build_population(cfg.customers, &seeds);
     let catalog = standard_catalog();
@@ -87,8 +102,60 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
     let gs = GroundStation::italy_default();
     let anon_seed = seeds.rng("anon").next_u64();
     let probe_cfg = ProbeConfig { anon_seed, ..ProbeConfig::new(FlowTableConfig::new(gs.customer_subnet)) };
-    let mut probe = ShardedProbe::new(probe_cfg, cfg.probe_shards);
+    SimSetup { seeds, population, catalog, model, anon_seed, probe_cfg }
+}
 
+/// Run a scenario to completion.
+pub fn run(cfg: ScenarioConfig) -> Dataset {
+    run_with_tap(cfg, |_, _| {})
+}
+
+/// Run a scenario, additionally invoking `tap` for every packet the
+/// span port observes (e.g. a pcap writer). The tap sees packets in
+/// global time order, exactly as the probe does.
+pub fn run_with_tap(cfg: ScenarioConfig, tap: impl FnMut(SimTime, &Packet)) -> Dataset {
+    let sim = setup(cfg);
+    let mut probe = ShardedProbe::new(sim.probe_cfg, cfg.probe_shards);
+    drive(cfg, &sim, &mut probe, tap);
+    let packets = probe.packets;
+    let (flows, dns) = probe.finish();
+    let enrichment = build_enrichment(&sim.population, sim.anon_seed, cfg.days);
+    Dataset { flows, dns, enrichment, packets }
+}
+
+/// Run a scenario with streaming flow ingest: evicted flows go
+/// through the probe's [`satwatch_monitor::FlowSink`] into an
+/// incremental frame builder as the simulation advances. The sealed
+/// frame is byte-identical to `FlowFrame::from_records` over the
+/// batch run's flows — eviction order is a permutation of the same
+/// record set, and `seal()` restores the canonical order (DESIGN.md
+/// §10) — while the full record vector is never materialized.
+pub fn run_streaming(cfg: ScenarioConfig) -> ColumnarDataset {
+    use satwatch_analytics::FrameBuilder;
+    use std::sync::{Arc, Mutex};
+    let sim = setup(cfg);
+    // the operator's enrichment is a pure function of the population,
+    // so the builder can resolve columns while packets still flow
+    let enrichment = build_enrichment(&sim.population, sim.anon_seed, cfg.days);
+    let builder = Arc::new(Mutex::new(FrameBuilder::new(enrichment.clone())));
+    let mut probe = ShardedProbe::with_flow_sink(sim.probe_cfg, cfg.probe_shards, |_shard| {
+        let builder = Arc::clone(&builder);
+        Box::new(move |f: FlowRecord| builder.lock().unwrap().push(&f)) as satwatch_monitor::FlowSink
+    });
+    drive(cfg, &sim, &mut probe, |_, _| {});
+    let packets = probe.packets;
+    let (rest, dns) = probe.finish();
+    debug_assert!(rest.is_empty(), "sink mode leaves no batch flows");
+    drop(rest);
+    let builder = Arc::try_unwrap(builder).ok().expect("all shard sinks dropped").into_inner().unwrap();
+    let frame = builder.seal();
+    ColumnarDataset { frame, dns, enrichment, packets }
+}
+
+/// The day loop: generate intents, expand flows to packets, feed the
+/// span port in global time order.
+fn drive(cfg: ScenarioConfig, sim: &SimSetup, probe: &mut ShardedProbe, mut tap: impl FnMut(SimTime, &Packet)) {
+    let SimSetup { seeds, population, catalog, model, .. } = sim;
     // Event loop: StartFlow intents go through the (small) event-queue
     // heap; the packets each flow expands into stay in per-flow runs
     // merged by a tournament tree (`RunMerge`). The merge key `(time,
@@ -97,7 +164,7 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
     // DESIGN.md "Run-merge scheduler" — while moving no `Packet` and
     // recycling every run buffer.
     let mut merge: RunMerge<Packet> = RunMerge::new();
-    export_beam_gauges(&population);
+    export_beam_gauges(population);
     let m = metrics();
     for day in 0..cfg.days {
         let _day_span = satwatch_telemetry::Span::over(m.day_us);
@@ -114,7 +181,7 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
             let _s = satwatch_telemetry::Span::over(m.intent_gen_us);
             ordered_par_map(cfg.threads, &population.customers, |i, customer| {
                 let mut rng = seeds.rng_idx("intents", day * 1_000_000 + i as u64);
-                generate_day(customer, i, &catalog, day, &mut rng)
+                generate_day(customer, i, catalog, day, &mut rng)
             })
         };
         for day_intents in per_customer {
@@ -149,7 +216,7 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
                 let beam = population.beam(customer.terminal.beam);
                 m.flows.inc();
                 let mut run = merge.take_buffer();
-                model.simulate_flow(&intent, customer, &catalog, beam, &mut flow_rng, &mut run);
+                model.simulate_flow(&intent, customer, catalog, beam, &mut flow_rng, &mut run);
                 // The builder may interleave directions out of time
                 // order and emit pre-start timestamps the heap used to
                 // clamp; normalise, then stable-sort so equal-time
@@ -175,11 +242,6 @@ pub fn run_with_tap(cfg: ScenarioConfig, mut tap: impl FnMut(SimTime, &Packet)) 
         // Truncate the post-horizon tail, keeping the buffers.
         merge.clear();
     }
-
-    let packets = probe.packets;
-    let (flows, dns) = probe.finish();
-    let enrichment = build_enrichment(&population, anon_seed, cfg.days);
-    Dataset { flows, dns, enrichment, packets }
 }
 
 /// Operator-side enrichment: the operator holds the CryptoPan key and

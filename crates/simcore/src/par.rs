@@ -147,9 +147,55 @@ where
     parts.fold(first, &mut reduce)
 }
 
+/// [`ordered_par_fold`] over index ranges instead of a slice: partial
+/// folds over contiguous `0..len` sub-ranges, reduced in range order.
+/// For columnar data (struct-of-arrays) there is no single item slice
+/// to chunk, so the caller receives a `Range<usize>` and indexes its
+/// own columns. Deterministic under the same associativity condition
+/// as [`ordered_par_fold`].
+pub fn ordered_par_ranges<A, F, R>(workers: usize, len: usize, map: F, mut reduce: R) -> A
+where
+    A: Send + Default,
+    F: Fn(std::ops::Range<usize>) -> A + Sync,
+    R: FnMut(A, A) -> A,
+{
+    let workers = resolve_workers(workers).min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return map(0..len);
+    }
+    let chunk = len.div_ceil(workers);
+    let ranges: Vec<std::ops::Range<usize>> =
+        (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect();
+    let mut parts = ordered_par_map(workers, &ranges, |_, r| map(r.clone())).into_iter();
+    let first = parts.next().unwrap_or_default();
+    parts.fold(first, &mut reduce)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ranges_cover_and_fold_like_serial() {
+        let vals: Vec<u64> = (0..997).map(|i| i * 3 + 1).collect();
+        let serial: u64 = vals.iter().sum();
+        for workers in [1, 2, 3, 8, 64] {
+            let par = ordered_par_ranges(workers, vals.len(), |r| r.map(|i| vals[i]).sum::<u64>(), |a, b| a + b);
+            assert_eq!(par, serial, "workers={workers}");
+            // concatenation in range order preserves the serial order
+            let cat = ordered_par_ranges(
+                workers,
+                vals.len(),
+                |r| r.map(|i| vals[i]).collect::<Vec<u64>>(),
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            );
+            assert_eq!(cat, vals, "workers={workers}");
+        }
+        assert_eq!(ordered_par_ranges(4, 0, |r| r.len(), |a, b| a + b), 0);
+    }
 
     #[test]
     fn matches_serial_map_for_any_worker_count() {

@@ -55,6 +55,40 @@ impl Category {
     /// The six classes of the paper's Fig 6/7.
     pub const PAPER_SIX: [Category; 6] =
         [Category::Audio, Category::Chat, Category::Search, Category::Social, Category::Video, Category::Work];
+
+    /// Every category, in declaration order. `ALL[c.index()] == c`, so
+    /// a category round-trips through a small integer — the columnar
+    /// analytics frame stores one byte per flow instead of the enum.
+    pub const ALL: [Category; 11] = [
+        Category::Audio,
+        Category::Chat,
+        Category::Search,
+        Category::Social,
+        Category::Video,
+        Category::Work,
+        Category::Web,
+        Category::Update,
+        Category::Vpn,
+        Category::Call,
+        Category::Background,
+    ];
+
+    /// Position of `self` in [`Category::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            Category::Audio => 0,
+            Category::Chat => 1,
+            Category::Search => 2,
+            Category::Social => 3,
+            Category::Video => 4,
+            Category::Work => 5,
+            Category::Web => 6,
+            Category::Update => 7,
+            Category::Vpn => 8,
+            Category::Call => 9,
+            Category::Background => 10,
+        }
+    }
 }
 
 /// Transport used by one flow of a service.

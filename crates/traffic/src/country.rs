@@ -50,6 +50,26 @@ impl Country {
     pub const TOP6: [Country; 6] =
         [Country::Congo, Country::Nigeria, Country::SouthAfrica, Country::Ireland, Country::Spain, Country::Uk];
 
+    /// Position of `self` in [`Country::ALL`], so a country round-trips
+    /// through a small integer (`ALL[c.index()] == c`). The columnar
+    /// analytics frame stores one byte per flow instead of the enum.
+    pub const fn index(self) -> usize {
+        match self {
+            Country::Congo => 0,
+            Country::Spain => 1,
+            Country::Nigeria => 2,
+            Country::Ireland => 3,
+            Country::Uk => 4,
+            Country::SouthAfrica => 5,
+            Country::Germany => 6,
+            Country::France => 7,
+            Country::Italy => 8,
+            Country::Greece => 9,
+            Country::Kenya => 10,
+            Country::Ghana => 11,
+        }
+    }
+
     pub fn code(self) -> &'static str {
         match self {
             Country::Congo => "CD",
