@@ -35,6 +35,22 @@ use std::net::Ipv4Addr;
 const N_PROTO: usize = L7Protocol::ALL.len();
 const N_COUNTRY: usize = Country::ALL.len();
 
+/// Shared context for every per-figure fold: the enrichment tables
+/// and the country selection. One struct instead of the three ad-hoc
+/// call conventions the engine grew historically (`(fr, workers)` vs
+/// `(fr, enr, workers)` vs `(fr, enr, countries, workers)`): every
+/// `*_frame` entry point now takes `(fr, ctx, workers)`, with
+/// genuinely per-figure inputs (the Fig 6 service list, the Table 2
+/// DNS log and flow floor) remaining explicit parameters.
+///
+/// Figures that need only part of the context simply ignore the rest
+/// — building a `ReportCtx` costs two pointers.
+#[derive(Clone, Copy)]
+pub struct ReportCtx<'a> {
+    pub enrichment: &'a Enrichment,
+    pub countries: &'a [Country],
+}
+
 /// Fold rows `0..len` through per-chunk accumulators, reducing in
 /// chunk order. The engine's single parallel shape.
 fn fold_rows<A, F>(len: usize, workers: usize, absorb: F, merge: fn(A, A) -> A) -> A
@@ -88,8 +104,9 @@ impl Table1Acc {
     }
 }
 
-/// [`agg::table1`] as a frame fold.
-pub fn table1_frame(fr: &FlowFrame, workers: usize) -> Table1 {
+/// [`agg::table1`] as a frame fold (`ctx` unused — kept for the
+/// uniform `(fr, ctx, workers)` convention).
+pub fn table1_frame(fr: &FlowFrame, _ctx: ReportCtx<'_>, workers: usize) -> Table1 {
     fold_rows(fr.len(), workers, |a: &mut Table1Acc, i| a.absorb(fr, i), Table1Acc::merge).finish()
 }
 
@@ -145,8 +162,8 @@ impl Fig2Acc {
 }
 
 /// [`agg::fig2`] as a frame fold.
-pub fn fig2_frame(fr: &FlowFrame, enr: &Enrichment, workers: usize) -> Fig2 {
-    fold_rows(fr.len(), workers, |a: &mut Fig2Acc, i| a.absorb(fr, i), Fig2Acc::merge).finish(enr)
+pub fn fig2_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, workers: usize) -> Fig2 {
+    fold_rows(fr.len(), workers, |a: &mut Fig2Acc, i| a.absorb(fr, i), Fig2Acc::merge).finish(ctx.enrichment)
 }
 
 // ---------------------------------------------------------------- Figure 3
@@ -204,7 +221,7 @@ impl Fig3Acc {
 }
 
 /// [`agg::fig3`] as a frame fold.
-pub fn fig3_frame(fr: &FlowFrame, workers: usize) -> Fig3 {
+pub fn fig3_frame(fr: &FlowFrame, _ctx: ReportCtx<'_>, workers: usize) -> Fig3 {
     fold_rows(fr.len(), workers, |a: &mut Fig3Acc, i| a.absorb(fr, i), Fig3Acc::merge).finish()
 }
 
@@ -261,7 +278,7 @@ impl Fig4Acc {
 }
 
 /// [`agg::fig4`] as a frame fold.
-pub fn fig4_frame(fr: &FlowFrame, workers: usize) -> Fig4 {
+pub fn fig4_frame(fr: &FlowFrame, _ctx: ReportCtx<'_>, workers: usize) -> Fig4 {
     fold_rows(fr.len(), workers, |a: &mut Fig4Acc, i| a.absorb(fr, i), Fig4Acc::merge).finish()
 }
 
@@ -304,24 +321,19 @@ pub fn customer_days_frame(fr: &FlowFrame, workers: usize) -> FxHashMap<(Ipv4Add
 }
 
 /// [`agg::fig5`] from a frame-built customer-day rollup.
-pub fn fig5_frame(fr: &FlowFrame, enr: &Enrichment, workers: usize) -> Fig5 {
-    agg::fig5(&customer_days_frame(fr, workers), enr)
+pub fn fig5_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, workers: usize) -> Fig5 {
+    agg::fig5(&customer_days_frame(fr, workers), ctx.enrichment)
 }
 
-/// [`agg::fig6`] from a frame-built customer-day rollup.
-pub fn fig6_frame(
-    fr: &FlowFrame,
-    enr: &Enrichment,
-    services: &[&'static str],
-    countries: &[Country],
-    workers: usize,
-) -> Fig6 {
-    agg::fig6(&customer_days_frame(fr, workers), enr, services, countries)
+/// [`agg::fig6`] from a frame-built customer-day rollup. The service
+/// list is genuinely per-figure, so it stays an explicit parameter.
+pub fn fig6_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, services: &[&'static str], workers: usize) -> Fig6 {
+    agg::fig6(&customer_days_frame(fr, workers), ctx.enrichment, services, ctx.countries)
 }
 
 /// [`agg::fig7`] from a frame-built customer-day rollup.
-pub fn fig7_frame(fr: &FlowFrame, enr: &Enrichment, countries: &[Country], workers: usize) -> Fig7 {
-    agg::fig7(&customer_days_frame(fr, workers), enr, countries)
+pub fn fig7_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, workers: usize) -> Fig7 {
+    agg::fig7(&customer_days_frame(fr, workers), ctx.enrichment, ctx.countries)
 }
 
 // --------------------------------------------------------------- Figure 8a
@@ -379,8 +391,8 @@ impl Fig8aAcc {
 }
 
 /// [`agg::fig8a`] as a frame fold.
-pub fn fig8a_frame(fr: &FlowFrame, countries: &[Country], workers: usize) -> Fig8a {
-    fold_rows(fr.len(), workers, |a: &mut Fig8aAcc, i| a.absorb(fr, i), Fig8aAcc::merge).finish(countries)
+pub fn fig8a_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, workers: usize) -> Fig8a {
+    fold_rows(fr.len(), workers, |a: &mut Fig8aAcc, i| a.absorb(fr, i), Fig8aAcc::merge).finish(ctx.countries)
 }
 
 // --------------------------------------------------------------- Figure 8b
@@ -423,8 +435,8 @@ impl Fig8bAcc {
 }
 
 /// [`agg::fig8b`] as a frame fold.
-pub fn fig8b_frame(fr: &FlowFrame, enr: &Enrichment, workers: usize) -> Fig8b {
-    fold_rows(fr.len(), workers, |a: &mut Fig8bAcc, i| a.absorb(fr, i), Fig8bAcc::merge).finish(enr)
+pub fn fig8b_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, workers: usize) -> Fig8b {
+    fold_rows(fr.len(), workers, |a: &mut Fig8bAcc, i| a.absorb(fr, i), Fig8bAcc::merge).finish(ctx.enrichment)
 }
 
 // ---------------------------------------------------------------- Figure 9
@@ -475,8 +487,8 @@ impl Fig9Acc {
 }
 
 /// [`agg::fig9`] as a frame fold.
-pub fn fig9_frame(fr: &FlowFrame, countries: &[Country], workers: usize) -> Fig9 {
-    fold_rows(fr.len(), workers, |a: &mut Fig9Acc, i| a.absorb(fr, i), Fig9Acc::merge).finish(countries)
+pub fn fig9_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, workers: usize) -> Fig9 {
+    fold_rows(fr.len(), workers, |a: &mut Fig9Acc, i| a.absorb(fr, i), Fig9Acc::merge).finish(ctx.countries)
 }
 
 // --------------------------------------------------------------- Figure 11
@@ -551,8 +563,8 @@ impl Fig11Acc {
 }
 
 /// [`agg::fig11`] as a frame fold.
-pub fn fig11_frame(fr: &FlowFrame, countries: &[Country], workers: usize) -> Fig11 {
-    fold_rows(fr.len(), workers, |a: &mut Fig11Acc, i| a.absorb(fr, i), Fig11Acc::merge).finish(countries)
+pub fn fig11_frame(fr: &FlowFrame, ctx: ReportCtx<'_>, workers: usize) -> Fig11 {
+    fold_rows(fr.len(), workers, |a: &mut Fig11Acc, i| a.absorb(fr, i), Fig11Acc::merge).finish(ctx.countries)
 }
 
 // ------------------------------------------------------- Table 2 (DNS join)
@@ -637,15 +649,17 @@ impl CdnAcc {
 }
 
 /// [`agg::table_cdn_selection`] as a frame fold over a pre-built
-/// [`CdnJoin`].
+/// [`CdnJoin`]. The DNS log and the minimum-flow floor are join
+/// inputs, not report context, so they stay explicit.
 pub fn table_cdn_frame(
     fr: &FlowFrame,
     dns: &[DnsRecord],
-    countries: &[Country],
+    ctx: ReportCtx<'_>,
     min_flows: usize,
     workers: usize,
 ) -> TableCdnSelection {
     let join = CdnJoin::build(dns);
+    let countries = ctx.countries;
     fold_rows(fr.len(), workers, |a: &mut CdnAcc, i| a.absorb(fr, i, &join, countries), CdnAcc::merge).finish(min_flows)
 }
 
@@ -745,13 +759,13 @@ impl MegaAcc {
 pub fn report_all(
     fr: &FlowFrame,
     dns: &[DnsRecord],
-    enr: &Enrichment,
-    countries: &[Country],
+    ctx: ReportCtx<'_>,
     services: &[&'static str],
     min_flows: usize,
     workers: usize,
 ) -> PaperReports {
     let _span = satwatch_telemetry::span("analytics_report_all_us");
+    let (enr, countries) = (ctx.enrichment, ctx.countries);
     let join = CdnJoin::build(dns);
     let mega = fold_rows(fr.len(), workers, |a: &mut MegaAcc, i| a.absorb(fr, i, &join, countries), MegaAcc::merge);
     let days = mega.days.map;
@@ -867,25 +881,26 @@ mod tests {
         let fr = FlowFrame::from_records(&flows, &enr);
         let classifier = Classifier::standard();
         let top = [Country::Congo, Country::Spain];
+        let ctx = ReportCtx { enrichment: &enr, countries: &top };
         for workers in [1, 3] {
-            assert_eq!(format!("{:?}", agg::table1(&flows)), format!("{:?}", table1_frame(&fr, workers)));
-            assert_eq!(format!("{:?}", agg::fig2(&flows, &enr)), format!("{:?}", fig2_frame(&fr, &enr, workers)));
-            assert_eq!(format!("{:?}", agg::fig3(&flows, &enr)), format!("{:?}", fig3_frame(&fr, workers)));
-            assert_eq!(format!("{:?}", agg::fig4(&flows, &enr)), format!("{:?}", fig4_frame(&fr, workers)));
+            assert_eq!(format!("{:?}", agg::table1(&flows)), format!("{:?}", table1_frame(&fr, ctx, workers)));
+            assert_eq!(format!("{:?}", agg::fig2(&flows, &enr)), format!("{:?}", fig2_frame(&fr, ctx, workers)));
+            assert_eq!(format!("{:?}", agg::fig3(&flows, &enr)), format!("{:?}", fig3_frame(&fr, ctx, workers)));
+            assert_eq!(format!("{:?}", agg::fig4(&flows, &enr)), format!("{:?}", fig4_frame(&fr, ctx, workers)));
             assert_eq!(agg::customer_days(&flows, &classifier), customer_days_frame(&fr, workers));
             assert_eq!(
                 format!("{:?}", agg::fig8a(&flows, &enr, &top)),
-                format!("{:?}", fig8a_frame(&fr, &top, workers))
+                format!("{:?}", fig8a_frame(&fr, ctx, workers))
             );
-            assert_eq!(format!("{:?}", agg::fig8b(&flows, &enr)), format!("{:?}", fig8b_frame(&fr, &enr, workers)));
-            assert_eq!(format!("{:?}", agg::fig9(&flows, &enr, &top)), format!("{:?}", fig9_frame(&fr, &top, workers)));
+            assert_eq!(format!("{:?}", agg::fig8b(&flows, &enr)), format!("{:?}", fig8b_frame(&fr, ctx, workers)));
+            assert_eq!(format!("{:?}", agg::fig9(&flows, &enr, &top)), format!("{:?}", fig9_frame(&fr, ctx, workers)));
             assert_eq!(
                 format!("{:?}", agg::fig11(&flows, &enr, &top)),
-                format!("{:?}", fig11_frame(&fr, &top, workers))
+                format!("{:?}", fig11_frame(&fr, ctx, workers))
             );
             assert_eq!(
                 format!("{:?}", agg::table_cdn_selection(&flows, &dns, &enr, &top, 1)),
-                format!("{:?}", table_cdn_frame(&fr, &dns, &top, 1, workers))
+                format!("{:?}", table_cdn_frame(&fr, &dns, ctx, 1, workers))
             );
         }
     }
@@ -898,13 +913,14 @@ mod tests {
         let fr = FlowFrame::from_records(&flows, &enr);
         let top = [Country::Congo, Country::Spain];
         let services = ["Tiktok", "Google"];
+        let ctx = ReportCtx { enrichment: &enr, countries: &top };
         for workers in [1, 4] {
-            let all = report_all(&fr, &dns, &enr, &top, &services, 1, workers);
-            assert_eq!(format!("{:?}", all.table1), format!("{:?}", table1_frame(&fr, 1)));
-            assert_eq!(format!("{:?}", all.fig4), format!("{:?}", fig4_frame(&fr, 1)));
-            assert_eq!(format!("{:?}", all.fig9), format!("{:?}", fig9_frame(&fr, &top, 1)));
-            assert_eq!(format!("{:?}", all.table2), format!("{:?}", table_cdn_frame(&fr, &dns, &top, 1, 1)));
-            assert_eq!(format!("{:?}", all.fig6), format!("{:?}", fig6_frame(&fr, &enr, &services, &top, 1)));
+            let all = report_all(&fr, &dns, ctx, &services, 1, workers);
+            assert_eq!(format!("{:?}", all.table1), format!("{:?}", table1_frame(&fr, ctx, 1)));
+            assert_eq!(format!("{:?}", all.fig4), format!("{:?}", fig4_frame(&fr, ctx, 1)));
+            assert_eq!(format!("{:?}", all.fig9), format!("{:?}", fig9_frame(&fr, ctx, 1)));
+            assert_eq!(format!("{:?}", all.table2), format!("{:?}", table_cdn_frame(&fr, &dns, ctx, 1, 1)));
+            assert_eq!(format!("{:?}", all.fig6), format!("{:?}", fig6_frame(&fr, ctx, &services, 1)));
             assert!(!all.render_all().is_empty());
         }
     }

@@ -172,6 +172,41 @@ impl FlowFrame {
         self.bytes_up[i] + self.bytes_down[i]
     }
 
+    /// The beam of row `i`, if enriched.
+    #[inline]
+    pub fn beam_at(&self, i: usize) -> Option<u16> {
+        let b = self.beam[i];
+        (b != NO_BEAM).then_some(b)
+    }
+
+    /// The category of row `i`, if classified.
+    #[inline]
+    pub fn category_at(&self, i: usize) -> Option<Category> {
+        let c = self.category[i];
+        (c != NO_CATEGORY).then(|| Category::ALL[c as usize])
+    }
+
+    /// The classified service name of row `i`, if classified.
+    #[inline]
+    pub fn service_at(&self, i: usize) -> Option<&'static str> {
+        let s = self.service[i];
+        (s != NO_SERVICE).then(|| self.services[s as usize])
+    }
+
+    /// The local hour of row `i`, if the customer's country is known.
+    #[inline]
+    pub fn local_hour_at(&self, i: usize) -> Option<u8> {
+        let h = self.local_hour[i];
+        (h != NO_HOUR).then_some(h)
+    }
+
+    /// The satellite RTT of row `i` in ms, if the flow had an estimate.
+    #[inline]
+    pub fn sat_rtt_at(&self, i: usize) -> Option<f64> {
+        let r = self.sat_rtt_ms[i];
+        (!r.is_nan()).then_some(r)
+    }
+
     /// Tile the frame `n` times: rows `0..len` repeated back to back.
     /// Used by `bench --replicate` to scale the analytics workload
     /// without changing the dataset; equals building a frame from the

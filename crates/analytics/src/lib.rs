@@ -13,6 +13,10 @@
 //!   stream.
 //! * [`engine`] — every figure as a fold over the frame, plus the
 //!   fused [`report_all`] single-pass sweep.
+//! * [`expr`] / [`query`] — the aggregation-pipeline DSL: JSON-parsed
+//!   `match → group → project → sort → limit` pipelines compiled
+//!   against the frame with small-int predicate pushdown and a
+//!   deterministic parallel group-by (DESIGN.md §11).
 //! * [`report`] — typed report structs with text renderers.
 //! * [`topdomains`] — the top-domain rankings behind the paper's
 //!   manual service-list curation.
@@ -33,12 +37,15 @@ pub mod ascii;
 pub mod classify;
 pub mod csv;
 pub mod engine;
+pub mod expr;
 pub mod frame;
+pub mod query;
 pub mod report;
 pub mod topdomains;
 
 pub use agg::{customer_days, Enrichment};
 pub use classify::{second_level_domain, Classifier, ClassifyCache};
-pub use engine::{report_all, PaperReports};
+pub use engine::{report_all, PaperReports, ReportCtx};
 pub use frame::{FlowFrame, FrameBuilder};
+pub use query::{Pipeline, QueryStats, ResultTable};
 pub use topdomains::{top_domains, TopDomains};

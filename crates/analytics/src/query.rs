@@ -1,0 +1,1103 @@
+//! `analytics::query` — the aggregation-pipeline DSL over
+//! [`FlowFrame`].
+//!
+//! A [`Pipeline`] is a JSON-specified sequence of stages,
+//! `match → group → project → sort → limit`, compiled against the
+//! frame and executed deterministically in parallel:
+//!
+//! * **Match** filters rows. Conjuncts over the pre-resolved
+//!   small-int columns are pushed down into lookup tables
+//!   ([`crate::expr::compile_match`]) so the scan touches one or two
+//!   bytes per row before any wide column loads.
+//! * **Group** buckets the selection by key expressions and folds
+//!   aggregates (`sum`/`count`/`min`/`max`/`mean`/`quantile`). The
+//!   fold runs as per-chunk partial hash maps over
+//!   [`ordered_par_chunks`], merged *in chunk order*, so the result
+//!   is byte-identical at any worker count (see DESIGN.md §11 for
+//!   the argument). Output rows are sorted by group key.
+//! * **Project** computes derived columns; **Sort**/**Limit** shape
+//!   the final [`ResultTable`], renderable as aligned text, CSV, or
+//!   JSON.
+//!
+//! The hand-rolled figure folds in [`crate::engine`] remain the fused
+//! fast path; [`paper`] re-expresses Table 1 and Figures 2–4 as
+//! pipelines and the test suite pins them byte-for-byte against the
+//! engine output, proving the DSL subsumes them.
+
+use crate::agg::Enrichment;
+use crate::expr::{bind, compile_match, truthy, BoundExpr, ColSlot, Expr, Json, QueryError, RowCtx, Value};
+use crate::frame::FlowFrame;
+use crate::report::{Fig2, Fig3, Fig4, Table1};
+use satwatch_monitor::L7Protocol;
+use satwatch_simcore::stats::quantile;
+use satwatch_simcore::{ordered_par_chunks, ordered_par_ranges, FxHashMap};
+use satwatch_traffic::Country;
+use std::collections::hash_map::Entry;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+struct Metrics {
+    rows_scanned: &'static satwatch_telemetry::Counter,
+    rows_after_pushdown: &'static satwatch_telemetry::Counter,
+    result_rows: &'static satwatch_telemetry::Counter,
+    match_us: &'static satwatch_telemetry::Histogram,
+    group_us: &'static satwatch_telemetry::Histogram,
+    project_us: &'static satwatch_telemetry::Histogram,
+    sort_us: &'static satwatch_telemetry::Histogram,
+    run_us: &'static satwatch_telemetry::Histogram,
+}
+
+fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        rows_scanned: satwatch_telemetry::counter("query_rows_scanned_total"),
+        rows_after_pushdown: satwatch_telemetry::counter("query_rows_after_pushdown_total"),
+        result_rows: satwatch_telemetry::counter("query_result_rows_total"),
+        match_us: satwatch_telemetry::histogram("query_match_us"),
+        group_us: satwatch_telemetry::histogram("query_group_us"),
+        project_us: satwatch_telemetry::histogram("query_project_us"),
+        sort_us: satwatch_telemetry::histogram("query_sort_us"),
+        run_us: satwatch_telemetry::histogram("query_run_us"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline model
+// ---------------------------------------------------------------------------
+
+/// Aggregate functions available in a `group` stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Min,
+    Max,
+    Mean,
+    Quantile,
+}
+
+/// One aggregate: `sum`/`mean`/… of an argument expression. `Count`
+/// with no argument counts rows; with one, counts non-null values.
+/// `Quantile` carries `q` (type-7, matching
+/// [`satwatch_simcore::stats::quantile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agg {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+    pub q: f64,
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// Keep rows where the predicate is true.
+    Match(Expr),
+    /// Bucket by key expressions, fold aggregates per bucket.
+    Group { by: Vec<(String, Expr)>, aggs: Vec<(String, Agg)> },
+    /// Compute derived columns.
+    Project(Vec<(String, Expr)>),
+    /// Stable sort by named output columns (`"-name"` = descending).
+    Sort(Vec<(String, bool)>),
+    /// Keep the first `n` rows.
+    Limit(usize),
+}
+
+/// A parsed pipeline: an ordered list of stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Parse a pipeline from JSON text: either a bare stage array or
+    /// `{"pipeline": [...]}`. See DESIGN.md §11 for the grammar.
+    pub fn parse(src: &str) -> Result<Pipeline, QueryError> {
+        let json = Json::parse(src)?;
+        let stages_json = match &json {
+            Json::Arr(items) => items,
+            Json::Obj(_) => match json.get("pipeline") {
+                Some(Json::Arr(items)) => items,
+                _ => return Err(QueryError::new("expected a stage array or {\"pipeline\": [...]}")),
+            },
+            _ => return Err(QueryError::new("expected a stage array or {\"pipeline\": [...]}")),
+        };
+        let stages = stages_json.iter().map(parse_stage).collect::<Result<Vec<_>, _>>()?;
+        if stages.is_empty() {
+            return Err(QueryError::new("pipeline has no stages"));
+        }
+        Ok(Pipeline { stages })
+    }
+}
+
+fn parse_stage(j: &Json) -> Result<Stage, QueryError> {
+    let Json::Obj(fields) = j else {
+        return Err(QueryError::new("each stage must be an object with one key"));
+    };
+    if fields.len() != 1 {
+        return Err(QueryError::new("each stage must have exactly one key"));
+    }
+    let (name, arg) = &fields[0];
+    match name.as_str() {
+        "match" => Ok(Stage::Match(Expr::from_json(arg)?)),
+        "group" => parse_group(arg),
+        "project" => Ok(Stage::Project(parse_named_exprs(arg, "project")?)),
+        "sort" => parse_sort(arg),
+        "limit" => match arg {
+            Json::Int(n) if *n >= 0 => Ok(Stage::Limit(*n as usize)),
+            _ => Err(QueryError::new("\"limit\" takes a non-negative integer")),
+        },
+        other => Err(QueryError::new(format!("unknown stage \"{other}\" (expected match/group/project/sort/limit)"))),
+    }
+}
+
+/// Parse `{"name": expr, ...}`; a bare string value is shorthand for a
+/// column ref, so `{"svc": "service"}` means `{"svc": {"col": "service"}}`.
+fn parse_named_exprs(j: &Json, stage: &str) -> Result<Vec<(String, Expr)>, QueryError> {
+    match j {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(name, v)| {
+                let e = match v {
+                    Json::Str(col) => Expr::Col(col.clone()),
+                    other => Expr::from_json(other)?,
+                };
+                Ok((name.clone(), e))
+            })
+            .collect(),
+        // `["service", "country"]` — name each output after the column.
+        Json::Arr(items) => items
+            .iter()
+            .map(|v| match v {
+                Json::Str(col) => Ok((col.clone(), Expr::Col(col.clone()))),
+                _ => Err(QueryError::new(format!("\"{stage}\" array entries must be column name strings"))),
+            })
+            .collect(),
+        _ => Err(QueryError::new(format!("\"{stage}\" takes an object or a column name array"))),
+    }
+}
+
+fn parse_group(j: &Json) -> Result<Stage, QueryError> {
+    let Json::Obj(_) = j else {
+        return Err(QueryError::new("\"group\" takes {\"by\": ..., \"aggs\": ...}"));
+    };
+    let by = match j.get("by") {
+        Some(b) => parse_named_exprs(b, "by")?,
+        None => Vec::new(),
+    };
+    let aggs_json = j.get("aggs").ok_or_else(|| QueryError::new("\"group\" needs an \"aggs\" object"))?;
+    let Json::Obj(agg_fields) = aggs_json else {
+        return Err(QueryError::new("\"aggs\" must be an object of name → aggregate"));
+    };
+    let mut aggs = Vec::new();
+    for (out, spec) in agg_fields {
+        let Json::Obj(f) = spec else {
+            return Err(QueryError::new(format!("aggregate \"{out}\" must be an object like {{\"sum\": ...}}")));
+        };
+        if f.len() != 1 {
+            return Err(QueryError::new(format!("aggregate \"{out}\" must have exactly one key")));
+        }
+        let (func_name, arg) = &f[0];
+        let agg = match func_name.as_str() {
+            "count" => match arg {
+                Json::Bool(true) | Json::Null => Agg { func: AggFunc::Count, arg: None, q: 0.0 },
+                other => Agg { func: AggFunc::Count, arg: Some(expr_or_col(other)?), q: 0.0 },
+            },
+            "sum" | "min" | "max" | "mean" => {
+                let func = match func_name.as_str() {
+                    "sum" => AggFunc::Sum,
+                    "min" => AggFunc::Min,
+                    "max" => AggFunc::Max,
+                    _ => AggFunc::Mean,
+                };
+                Agg { func, arg: Some(expr_or_col(arg)?), q: 0.0 }
+            }
+            "quantile" => {
+                let Json::Arr(items) = arg else {
+                    return Err(QueryError::new("\"quantile\" takes [expr, q]"));
+                };
+                if items.len() != 2 {
+                    return Err(QueryError::new("\"quantile\" takes [expr, q]"));
+                }
+                let q = match &items[1] {
+                    Json::Num(x) => *x,
+                    Json::Int(i) => *i as f64,
+                    _ => return Err(QueryError::new("quantile q must be a number")),
+                };
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(QueryError::new("quantile q must be in [0, 1]"));
+                }
+                Agg { func: AggFunc::Quantile, arg: Some(expr_or_col(&items[0])?), q }
+            }
+            other => {
+                return Err(QueryError::new(format!(
+                    "unknown aggregate \"{other}\" (expected sum/count/min/max/mean/quantile)"
+                )))
+            }
+        };
+        aggs.push((out.clone(), agg));
+    }
+    if aggs.is_empty() {
+        return Err(QueryError::new("\"aggs\" must define at least one aggregate"));
+    }
+    Ok(Stage::Group { by, aggs })
+}
+
+/// A bare string in aggregate-argument position is a column ref.
+fn expr_or_col(j: &Json) -> Result<Expr, QueryError> {
+    match j {
+        Json::Str(col) => Ok(Expr::Col(col.clone())),
+        other => Expr::from_json(other),
+    }
+}
+
+fn parse_sort(j: &Json) -> Result<Stage, QueryError> {
+    let parse_key = |s: &str| -> (String, bool) {
+        match s.strip_prefix('-') {
+            Some(rest) => (rest.to_string(), true),
+            None => (s.to_string(), false),
+        }
+    };
+    match j {
+        Json::Str(s) => Ok(Stage::Sort(vec![parse_key(s)])),
+        Json::Arr(items) => {
+            let mut keys = Vec::new();
+            for it in items {
+                let Json::Str(s) = it else {
+                    return Err(QueryError::new("\"sort\" entries must be column names (\"-name\" for descending)"));
+                };
+                keys.push(parse_key(s));
+            }
+            if keys.is_empty() {
+                return Err(QueryError::new("\"sort\" needs at least one key"));
+            }
+            Ok(Stage::Sort(keys))
+        }
+        _ => Err(QueryError::new("\"sort\" takes a column name or an array of them")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result table
+// ---------------------------------------------------------------------------
+
+/// A materialized query result: named columns, rows of [`Value`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultTable {
+    /// Aligned fixed-width text: numeric columns right-aligned,
+    /// everything else left-aligned, nulls as `-`.
+    pub fn render_text(&self) -> String {
+        let cells: Vec<Vec<String>> = self.rows.iter().map(|r| r.iter().map(Value::render_text).collect()).collect();
+        let right: Vec<bool> = (0..self.columns.len()).map(|c| self.rows.iter().any(|r| r[c].is_numeric())).collect();
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, name)| cells.iter().map(|r| r[c].len()).chain([name.len()]).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        let mut push_row = |fields: &[String]| {
+            for (c, field) in fields.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let w = widths[c];
+                if right[c] {
+                    out.push_str(&format!("{field:>w$}"));
+                } else if c + 1 == fields.len() {
+                    out.push_str(field); // no trailing padding
+                } else {
+                    out.push_str(&format!("{field:<w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        push_row(&self.columns.to_vec());
+        for row in &cells {
+            push_row(row);
+        }
+        out
+    }
+
+    /// RFC-4180-ish CSV: header row, fields quoted when they contain
+    /// a comma, quote, or newline; nulls empty.
+    pub fn render_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let line = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    Value::Str(s) => field(s),
+                    other => other.render_text(),
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compact JSON: `{"columns": [...], "rows": [[...], ...]}`.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn val(v: &Value) -> String {
+            match v {
+                Value::Null => "null".to_string(),
+                Value::Bool(b) => b.to_string(),
+                Value::Int(i) => i.to_string(),
+                Value::Num(x) if x.is_finite() => format!("{x}"),
+                Value::Num(_) => "null".to_string(), // NaN/inf have no JSON form
+                Value::Str(s) => esc(s),
+            }
+        }
+        let cols = self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| format!("[{}]", r.iter().map(val).collect::<Vec<_>>().join(",")))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"columns\":[{cols}],\"rows\":[{rows}]}}")
+    }
+
+    fn col_index(&self, name: &str) -> Result<usize, QueryError> {
+        self.columns.iter().position(|c| c == name).ok_or_else(|| {
+            QueryError::new(format!("unknown result column \"{name}\" (have: {})", self.columns.join(", ")))
+        })
+    }
+}
+
+/// Scan observability for one [`run_with_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Rows entering `match` stages (frame rows for the first match).
+    pub rows_scanned: u64,
+    /// Rows surviving the pushed-down lookup tables, before the
+    /// residual predicate runs.
+    pub rows_after_pushdown: u64,
+    /// Rows in the final table.
+    pub result_rows: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Group-by machinery
+// ---------------------------------------------------------------------------
+
+/// A group key: hash/eq by value bits (NaN and -0.0 canonicalized).
+#[derive(Debug, Clone)]
+struct Key(Vec<Value>);
+
+fn canon_bits(x: f64) -> u64 {
+    if x.is_nan() {
+        f64::NAN.to_bits()
+    } else if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Key) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
+                (Value::Num(x), Value::Num(y)) => canon_bits(*x) == canon_bits(*y),
+                _ => a == b,
+            })
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            match v {
+                Value::Null => 0u8.hash(state),
+                Value::Bool(b) => {
+                    1u8.hash(state);
+                    b.hash(state);
+                }
+                Value::Int(i) => {
+                    2u8.hash(state);
+                    i.hash(state);
+                }
+                Value::Num(x) => {
+                    3u8.hash(state);
+                    canon_bits(*x).hash(state);
+                }
+                Value::Str(s) => {
+                    4u8.hash(state);
+                    s.hash(state);
+                }
+            }
+        }
+    }
+}
+
+/// Partial aggregate state. The float-feeding variants buffer their
+/// observations and fold them in the finisher, left to right, so the
+/// chunk-order merge reproduces the serial observation order exactly
+/// (same discipline as the engine's CDF accumulators).
+#[derive(Debug, Clone)]
+enum AggState {
+    SumInt(i64),
+    SumFloat(Vec<f64>),
+    Count(u64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Collect(Vec<f64>),
+}
+
+#[derive(Clone)]
+struct CompiledAgg {
+    func: AggFunc,
+    arg: Option<BoundExpr>,
+    q: f64,
+    int_sum: bool,
+}
+
+impl CompiledAgg {
+    fn new_state(&self) -> AggState {
+        match self.func {
+            AggFunc::Sum if self.int_sum => AggState::SumInt(0),
+            AggFunc::Sum => AggState::SumFloat(Vec::new()),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Mean | AggFunc::Quantile => AggState::Collect(Vec::new()),
+        }
+    }
+
+    fn absorb(&self, state: &mut AggState, ctx: &RowCtx<'_>) {
+        let v = self.arg.as_ref().map(|e| e.eval(ctx));
+        match state {
+            AggState::SumInt(acc) => match v {
+                Some(Value::Int(i)) => *acc = acc.wrapping_add(i),
+                Some(Value::Bool(b)) => *acc = acc.wrapping_add(i64::from(b)),
+                _ => {} // Null skipped; Num unreachable (static typing)
+            },
+            AggState::SumFloat(buf) | AggState::Collect(buf) => {
+                if let Some(x) = v.as_ref().and_then(Value::as_f64) {
+                    if !x.is_nan() {
+                        buf.push(x);
+                    }
+                }
+            }
+            AggState::Count(n) => match (&self.arg, v) {
+                (None, _) => *n += 1,
+                (Some(_), Some(val)) if !val.is_null() => *n += 1,
+                _ => {}
+            },
+            AggState::Min(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() && !matches!(val, Value::Num(x) if x.is_nan()) {
+                        let better = best.as_ref().is_none_or(|b| val.cmp_total(b) == std::cmp::Ordering::Less);
+                        if better {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() && !matches!(val, Value::Num(x) if x.is_nan()) {
+                        let better = best.as_ref().is_none_or(|b| val.cmp_total(b) == std::cmp::Ordering::Greater);
+                        if better {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&self, state: AggState) -> Value {
+        match state {
+            AggState::SumInt(acc) => Value::Int(acc),
+            AggState::SumFloat(buf) => Value::Num(buf.iter().fold(0.0, |a, b| a + b)),
+            AggState::Count(n) => Value::Int(n as i64),
+            AggState::Min(best) | AggState::Max(best) => best.unwrap_or(Value::Null),
+            AggState::Collect(buf) => {
+                if buf.is_empty() {
+                    Value::Null
+                } else if self.func == AggFunc::Mean {
+                    Value::Num(buf.iter().fold(0.0, |a, b| a + b) / buf.len() as f64)
+                } else {
+                    Value::Num(quantile(&buf, self.q))
+                }
+            }
+        }
+    }
+}
+
+fn merge_states(a: &mut AggState, b: AggState) {
+    match (a, b) {
+        (AggState::SumInt(x), AggState::SumInt(y)) => *x = x.wrapping_add(y),
+        (AggState::SumFloat(x), AggState::SumFloat(y)) => x.extend(y),
+        (AggState::Count(x), AggState::Count(y)) => *x += y,
+        (AggState::Min(x), AggState::Min(y)) => {
+            if let Some(vy) = y {
+                let better = x.as_ref().is_none_or(|vx| vy.cmp_total(vx) == std::cmp::Ordering::Less);
+                if better {
+                    *x = Some(vy);
+                }
+            }
+        }
+        (AggState::Max(x), AggState::Max(y)) => {
+            if let Some(vy) = y {
+                let better = x.as_ref().is_none_or(|vx| vy.cmp_total(vx) == std::cmp::Ordering::Greater);
+                if better {
+                    *x = Some(vy);
+                }
+            }
+        }
+        (AggState::Collect(x), AggState::Collect(y)) => x.extend(y),
+        _ => unreachable!("mismatched aggregate states"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+enum State {
+    /// Frame phase: `None` = all rows, `Some(sel)` = surviving row ids.
+    Rows(Option<Vec<u32>>),
+    /// Table phase, after a group or project.
+    Table(ResultTable),
+}
+
+/// Run `pipeline` over `fr` with `workers` threads.
+pub fn run(fr: &FlowFrame, pipeline: &Pipeline, workers: usize) -> Result<ResultTable, QueryError> {
+    run_with_stats(fr, pipeline, workers).map(|(t, _)| t)
+}
+
+/// Like [`run`], also returning scan statistics (rows scanned vs rows
+/// surviving pushdown — the counters behind the
+/// `query_rows_*_total` telemetry).
+pub fn run_with_stats(
+    fr: &FlowFrame,
+    pipeline: &Pipeline,
+    workers: usize,
+) -> Result<(ResultTable, QueryStats), QueryError> {
+    let m = metrics();
+    let _run = satwatch_telemetry::Span::over(m.run_us);
+    let mut stats = QueryStats::default();
+    let mut state = State::Rows(None);
+
+    for stage in &pipeline.stages {
+        state = match (stage, state) {
+            (Stage::Match(expr), State::Rows(sel)) => State::Rows(Some(run_match(fr, expr, sel, workers, &mut stats)?)),
+            (Stage::Match(expr), State::Table(t)) => State::Table(run_table_match(t, expr)?),
+            (Stage::Group { by, aggs }, State::Rows(sel)) => State::Table(run_group(fr, by, aggs, sel, workers)?),
+            (Stage::Group { .. }, State::Table(_)) => {
+                return Err(QueryError::new("\"group\" over an already-grouped result is not supported"))
+            }
+            (Stage::Project(cols), State::Rows(sel)) => State::Table(run_frame_project(fr, cols, sel, workers)?),
+            (Stage::Project(cols), State::Table(t)) => State::Table(run_table_project(t, cols)?),
+            (Stage::Sort(keys), State::Table(mut t)) => {
+                let _s = satwatch_telemetry::Span::over(m.sort_us);
+                let idx = keys
+                    .iter()
+                    .map(|(name, desc)| Ok((t.col_index(name)?, *desc)))
+                    .collect::<Result<Vec<_>, QueryError>>()?;
+                t.rows.sort_by(|a, b| {
+                    for (i, desc) in &idx {
+                        let ord = a[*i].cmp_total(&b[*i]);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                State::Table(t)
+            }
+            (Stage::Sort(_), State::Rows(_)) => {
+                return Err(QueryError::new("\"sort\" needs a materialized table — add a group or project stage first"))
+            }
+            (Stage::Limit(n), State::Table(mut t)) => {
+                t.rows.truncate(*n);
+                State::Table(t)
+            }
+            (Stage::Limit(n), State::Rows(sel)) => {
+                let mut sel = materialize(fr, sel);
+                sel.truncate(*n);
+                State::Rows(Some(sel))
+            }
+        };
+    }
+
+    match state {
+        State::Table(t) => {
+            stats.result_rows = t.rows.len() as u64;
+            m.result_rows.add(stats.result_rows);
+            Ok((t, stats))
+        }
+        State::Rows(_) => Err(QueryError::new("pipeline never materialized a table — add a group or project stage")),
+    }
+}
+
+fn materialize(fr: &FlowFrame, sel: Option<Vec<u32>>) -> Vec<u32> {
+    sel.unwrap_or_else(|| (0..fr.len() as u32).collect())
+}
+
+/// Match over frame rows: LUT pass first (small-int columns only),
+/// residual predicate on the survivors.
+fn run_match(
+    fr: &FlowFrame,
+    expr: &Expr,
+    sel: Option<Vec<u32>>,
+    workers: usize,
+    stats: &mut QueryStats,
+) -> Result<Vec<u32>, QueryError> {
+    let m = metrics();
+    let _s = satwatch_telemetry::Span::over(m.match_us);
+    let bound = crate::expr::bind_frame(expr)?;
+    let cm = compile_match(&bound, fr);
+
+    let scanned = sel.as_ref().map_or(fr.len(), Vec::len) as u64;
+    stats.rows_scanned += scanned;
+    m.rows_scanned.add(scanned);
+
+    // Pushdown pass: only the small-int columns are touched.
+    let after_luts: Vec<u32> = match &sel {
+        None => ordered_par_ranges(
+            workers,
+            fr.len(),
+            |range| range.filter(|&i| cm.luts_pass(fr, i)).map(|i| i as u32).collect::<Vec<u32>>(),
+            |mut a: Vec<u32>, b| {
+                a.extend(b);
+                a
+            },
+        ),
+        Some(sel) => ordered_par_chunks(workers, sel, |chunk| {
+            chunk.iter().copied().filter(|&i| cm.luts_pass(fr, i as usize)).collect::<Vec<u32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect(),
+    };
+    stats.rows_after_pushdown += after_luts.len() as u64;
+    m.rows_after_pushdown.add(after_luts.len() as u64);
+
+    // Residual pass: whatever could not become a LUT.
+    let out = match &cm.residual {
+        None => after_luts,
+        Some(res) => ordered_par_chunks(workers, &after_luts, |chunk| {
+            chunk.iter().copied().filter(|&i| truthy(&res.eval(&RowCtx::Frame(fr, i as usize)))).collect::<Vec<u32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect(),
+    };
+    Ok(out)
+}
+
+fn run_table_match(t: ResultTable, expr: &Expr) -> Result<ResultTable, QueryError> {
+    let m = metrics();
+    let _s = satwatch_telemetry::Span::over(m.match_us);
+    let cols = t.columns.clone();
+    let bound = bind(expr, &|name| cols.iter().position(|c| c == name).map(ColSlot::Table))?;
+    let rows = t.rows.into_iter().filter(|row| truthy(&bound.eval(&RowCtx::Table(row)))).collect();
+    Ok(ResultTable { columns: t.columns, rows })
+}
+
+fn run_group(
+    fr: &FlowFrame,
+    by: &[(String, Expr)],
+    aggs: &[(String, Agg)],
+    sel: Option<Vec<u32>>,
+    workers: usize,
+) -> Result<ResultTable, QueryError> {
+    let m = metrics();
+    let _s = satwatch_telemetry::Span::over(m.group_us);
+    let key_exprs = by.iter().map(|(_, e)| crate::expr::bind_frame(e)).collect::<Result<Vec<_>, _>>()?;
+    let compiled: Vec<CompiledAgg> = aggs
+        .iter()
+        .map(|(_, a)| {
+            let arg = a.arg.as_ref().map(crate::expr::bind_frame).transpose()?;
+            let int_sum = a.func == AggFunc::Sum && arg.as_ref().is_some_and(BoundExpr::is_integer);
+            Ok(CompiledAgg { func: a.func, arg, q: a.q, int_sum })
+        })
+        .collect::<Result<Vec<_>, QueryError>>()?;
+
+    let sel = materialize(fr, sel);
+
+    // Per-chunk partial maps, merged in chunk order: within a chunk
+    // rows are visited in selection (row) order, and the chunk-order
+    // merge concatenates buffered observations in that same order, so
+    // every aggregate sees the serial observation sequence.
+    type Partial = FxHashMap<Key, Vec<AggState>>;
+    let partials: Vec<Partial> = ordered_par_chunks(workers, &sel, |chunk| {
+        let mut map: Partial = FxHashMap::default();
+        for &i in chunk {
+            let ctx = RowCtx::Frame(fr, i as usize);
+            let key = Key(key_exprs.iter().map(|e| e.eval(&ctx)).collect());
+            let states = map.entry(key).or_insert_with(|| compiled.iter().map(CompiledAgg::new_state).collect());
+            for (agg, st) in compiled.iter().zip(states.iter_mut()) {
+                agg.absorb(st, &ctx);
+            }
+        }
+        map
+    });
+
+    let mut merged: Partial = FxHashMap::default();
+    for partial in partials {
+        for (key, states) in partial {
+            match merged.entry(key) {
+                Entry::Vacant(v) => {
+                    v.insert(states);
+                }
+                Entry::Occupied(mut o) => {
+                    for (a, b) in o.get_mut().iter_mut().zip(states) {
+                        merge_states(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    // Deterministic output order: sort groups by key under the total
+    // value order (hash-map iteration order never escapes).
+    let mut groups: Vec<(Key, Vec<AggState>)> = merged.into_iter().collect();
+    groups.sort_by(|(a, _), (b, _)| {
+        a.0.iter()
+            .zip(&b.0)
+            .map(|(x, y)| x.cmp_total(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let columns: Vec<String> = by.iter().map(|(n, _)| n.clone()).chain(aggs.iter().map(|(n, _)| n.clone())).collect();
+    let rows = groups
+        .into_iter()
+        .map(|(key, states)| {
+            key.0.into_iter().chain(compiled.iter().zip(states).map(|(agg, st)| agg.finish(st))).collect()
+        })
+        .collect();
+    Ok(ResultTable { columns, rows })
+}
+
+fn run_frame_project(
+    fr: &FlowFrame,
+    cols: &[(String, Expr)],
+    sel: Option<Vec<u32>>,
+    workers: usize,
+) -> Result<ResultTable, QueryError> {
+    let m = metrics();
+    let _s = satwatch_telemetry::Span::over(m.project_us);
+    let exprs = cols.iter().map(|(_, e)| crate::expr::bind_frame(e)).collect::<Result<Vec<_>, _>>()?;
+    let sel = materialize(fr, sel);
+    let rows: Vec<Vec<Value>> = ordered_par_chunks(workers, &sel, |chunk| {
+        chunk
+            .iter()
+            .map(|&i| {
+                let ctx = RowCtx::Frame(fr, i as usize);
+                exprs.iter().map(|e| e.eval(&ctx)).collect::<Vec<Value>>()
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    Ok(ResultTable { columns: cols.iter().map(|(n, _)| n.clone()).collect(), rows })
+}
+
+fn run_table_project(t: ResultTable, cols: &[(String, Expr)]) -> Result<ResultTable, QueryError> {
+    let m = metrics();
+    let _s = satwatch_telemetry::Span::over(m.project_us);
+    let names = t.columns.clone();
+    let exprs = cols
+        .iter()
+        .map(|(_, e)| bind(e, &|name| names.iter().position(|c| c == name).map(ColSlot::Table)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let rows = t
+        .rows
+        .iter()
+        .map(|row| {
+            let ctx = RowCtx::Table(row);
+            exprs.iter().map(|e| e.eval(&ctx)).collect()
+        })
+        .collect();
+    Ok(ResultTable { columns: cols.iter().map(|(n, _)| n.clone()).collect(), rows })
+}
+
+/// Match rows of `fr` against a bare predicate (no full pipeline) —
+/// the pushdown path. Exposed for the pushdown-vs-naive proptest.
+pub fn match_rows(fr: &FlowFrame, expr: &Expr, workers: usize) -> Result<Vec<u32>, QueryError> {
+    let mut stats = QueryStats::default();
+    run_match(fr, expr, None, workers, &mut stats)
+}
+
+/// Row-at-a-time reference filter: no pushdown, no parallelism. The
+/// oracle the proptest checks [`match_rows`] against.
+pub fn match_rows_naive(fr: &FlowFrame, expr: &Expr) -> Result<Vec<u32>, QueryError> {
+    let bound = crate::expr::bind_frame(expr)?;
+    Ok((0..fr.len()).filter(|&i| truthy(&bound.eval(&RowCtx::Frame(fr, i)))).map(|i| i as u32).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Paper outputs as pipelines
+// ---------------------------------------------------------------------------
+
+/// The paper outputs re-expressed as pipelines. Each `*_via_query`
+/// runs the JSON pipeline through the full DSL (parse → pushdown →
+/// parallel group-by) and adapts the [`ResultTable`] into the typed
+/// report struct; the tests pin `render()` byte-for-byte against the
+/// hand-rolled [`crate::engine`] folds at workers 1 and 4.
+///
+/// The adapters stay exact because each pipeline's aggregates are
+/// integer sums (exact and order-insensitive in `i64`) and every
+/// derived float below is computed by the same expression, in the
+/// same order, as the corresponding engine finisher.
+pub mod paper {
+    use super::*;
+
+    /// Table 1 — traffic share by L7 protocol.
+    pub const TABLE1_PIPELINE: &str = r#"[
+        {"group": {"by": {"l7": "l7"}, "aggs": {"bytes": {"sum": "bytes"}}}}
+    ]"#;
+
+    /// Figure 2 — traffic and customer share by country.
+    pub const FIG2_PIPELINE: &str = r#"[
+        {"match": {"not": {"isnull": {"col": "country"}}}},
+        {"group": {"by": {"country": "country"}, "aggs": {"bytes": {"sum": "bytes"}}}}
+    ]"#;
+
+    /// Figure 3 — per-country protocol mix.
+    pub const FIG3_PIPELINE: &str = r#"[
+        {"match": {"not": {"isnull": {"col": "country"}}}},
+        {"group": {"by": {"country": "country", "l7": "l7"}, "aggs": {"bytes": {"sum": "bytes"}}}}
+    ]"#;
+
+    /// Figure 4 — per-country diurnal profile (UTC hours).
+    pub const FIG4_PIPELINE: &str = r#"[
+        {"match": {"not": {"isnull": {"col": "country"}}}},
+        {"group": {"by": {"country": "country", "hour": "hour_utc"}, "aggs": {"bytes": {"sum": "bytes"}}}}
+    ]"#;
+
+    fn as_str(v: &Value) -> &str {
+        match v {
+            Value::Str(s) => s,
+            _ => "",
+        }
+    }
+
+    fn as_u64(v: &Value) -> u64 {
+        match v {
+            Value::Int(i) => *i as u64,
+            _ => 0,
+        }
+    }
+
+    /// Table 1 through the DSL; byte-identical to
+    /// [`crate::engine::table1_frame`].
+    pub fn table1_via_query(fr: &FlowFrame, workers: usize) -> Result<Table1, QueryError> {
+        let t = run(fr, &Pipeline::parse(TABLE1_PIPELINE)?, workers)?;
+        let mut by = [0u64; L7Protocol::ALL.len()];
+        let mut total = 0u64;
+        for row in &t.rows {
+            let p =
+                L7Protocol::from_label(as_str(&row[0])).ok_or_else(|| QueryError::new("unknown l7 label in result"))?;
+            let b = as_u64(&row[1]);
+            by[p.index()] = b;
+            total += b;
+        }
+        let rows =
+            L7Protocol::ALL.into_iter().map(|p| (p, 100.0 * by[p.index()] as f64 / total.max(1) as f64)).collect();
+        Ok(Table1 { rows })
+    }
+
+    /// Figure 2 through the DSL; byte-identical to
+    /// [`crate::engine::fig2_frame`].
+    pub fn fig2_via_query(fr: &FlowFrame, enr: &Enrichment, workers: usize) -> Result<Fig2, QueryError> {
+        let t = run(fr, &Pipeline::parse(FIG2_PIPELINE)?, workers)?;
+        let mut vol = [0u64; Country::ALL.len()];
+        let mut total = 0u64;
+        for row in &t.rows {
+            let c =
+                Country::from_code(as_str(&row[0])).ok_or_else(|| QueryError::new("unknown country code in result"))?;
+            let b = as_u64(&row[1]);
+            vol[c.index()] = b;
+            total += b;
+        }
+        let total_customers = enr.country_of.len();
+        let mut rows: Vec<(Country, f64, f64, f64)> = Country::ALL
+            .into_iter()
+            .map(|c| {
+                let v = vol[c.index()];
+                let customers = enr.customers_in(c);
+                let mb_per_day = if customers == 0 || enr.days == 0 {
+                    0.0
+                } else {
+                    v as f64 / 1e6 / customers as f64 / enr.days as f64
+                };
+                (
+                    c,
+                    100.0 * v as f64 / total.max(1) as f64,
+                    100.0 * customers as f64 / total_customers.max(1) as f64,
+                    mb_per_day,
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        Ok(Fig2 { rows })
+    }
+
+    /// Figure 3 through the DSL; byte-identical to
+    /// [`crate::engine::fig3_frame`].
+    pub fn fig3_via_query(fr: &FlowFrame, workers: usize) -> Result<Fig3, QueryError> {
+        let t = run(fr, &Pipeline::parse(FIG3_PIPELINE)?, workers)?;
+        const N_PROTO: usize = L7Protocol::ALL.len();
+        let mut vol = [[0u64; N_PROTO]; Country::ALL.len()];
+        let mut seen = [false; Country::ALL.len()];
+        for row in &t.rows {
+            let c =
+                Country::from_code(as_str(&row[0])).ok_or_else(|| QueryError::new("unknown country code in result"))?;
+            let p =
+                L7Protocol::from_label(as_str(&row[1])).ok_or_else(|| QueryError::new("unknown l7 label in result"))?;
+            vol[c.index()][p.index()] = as_u64(&row[2]);
+            seen[c.index()] = true;
+        }
+        let rows = Country::ALL
+            .into_iter()
+            .filter(|c| seen[c.index()])
+            .map(|c| {
+                let protos = &vol[c.index()];
+                let total: u64 = protos.iter().sum();
+                let shares = L7Protocol::ALL
+                    .into_iter()
+                    .map(|p| (p, 100.0 * protos[p.index()] as f64 / total.max(1) as f64))
+                    .collect();
+                (c, shares)
+            })
+            .collect();
+        Ok(Fig3 { rows })
+    }
+
+    /// Figure 4 through the DSL; byte-identical to
+    /// [`crate::engine::fig4_frame`].
+    pub fn fig4_via_query(fr: &FlowFrame, workers: usize) -> Result<Fig4, QueryError> {
+        let t = run(fr, &Pipeline::parse(FIG4_PIPELINE)?, workers)?;
+        let mut by = [[0u64; 24]; Country::ALL.len()];
+        let mut seen = [false; Country::ALL.len()];
+        for row in &t.rows {
+            let c =
+                Country::from_code(as_str(&row[0])).ok_or_else(|| QueryError::new("unknown country code in result"))?;
+            let h = match row[1] {
+                Value::Int(h) if (0..24).contains(&h) => h as usize,
+                _ => return Err(QueryError::new("bad hour in result")),
+            };
+            by[c.index()][h] = as_u64(&row[2]);
+            seen[c.index()] = true;
+        }
+        let rows = Country::ALL
+            .into_iter()
+            .filter(|c| seen[c.index()])
+            .map(|c| {
+                let bytes = &by[c.index()];
+                let max = bytes.iter().copied().max().unwrap_or(0).max(1) as f64;
+                let mut prof = [0.0; 24];
+                for (p, b) in prof.iter_mut().zip(bytes) {
+                    *p = *b as f64 / max;
+                }
+                (c, prof)
+            })
+            .collect();
+        Ok(Fig4 { rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(src: &str) -> Pipeline {
+        Pipeline::parse(src).unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_malformed_pipelines() {
+        assert!(Pipeline::parse("[]").is_err());
+        assert!(Pipeline::parse("42").is_err());
+        assert!(Pipeline::parse(r#"[{"warp": 9}]"#).is_err());
+        assert!(Pipeline::parse(r#"[{"limit": -1}]"#).is_err());
+        assert!(Pipeline::parse(r#"[{"group": {"by": ["x"], "aggs": {}}}]"#).is_err());
+        assert!(Pipeline::parse(r#"[{"group": {"by": ["x"], "aggs": {"q": {"quantile": ["y", 2]}}}}]"#).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_shorthand() {
+        let p = pl(r#"[
+            {"match": {"eq": [{"col": "country"}, "ES"]}},
+            {"group": {"by": ["service"], "aggs": {"n": {"count": true}, "b": {"sum": "bytes"}}}},
+            {"sort": ["-b", "service"]},
+            {"limit": 5}
+        ]"#);
+        assert_eq!(p.stages.len(), 4);
+        match &p.stages[1] {
+            Stage::Group { by, aggs } => {
+                assert_eq!(by[0].0, "service");
+                assert_eq!(by[0].1, Expr::Col("service".into()));
+                assert_eq!(aggs.len(), 2);
+            }
+            other => panic!("expected group, got {other:?}"),
+        }
+        match &p.stages[2] {
+            Stage::Sort(keys) => {
+                assert_eq!(keys[0], ("b".to_string(), true));
+                assert_eq!(keys[1], ("service".to_string(), false));
+            }
+            other => panic!("expected sort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_text_aligns_and_csv_quotes() {
+        let t = ResultTable {
+            columns: vec!["name".into(), "n".into()],
+            rows: vec![vec![Value::Str("a,b".into()), Value::Int(5)], vec![Value::Null, Value::Int(12345)]],
+        };
+        let text = t.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "name      n");
+        assert_eq!(lines[1], "a,b       5");
+        assert_eq!(lines[2], "-     12345");
+        let csv = t.render_csv();
+        assert_eq!(csv, "name,n\n\"a,b\",5\n,12345\n");
+        assert_eq!(t.render_json(), r#"{"columns":["name","n"],"rows":[["a,b",5],[null,12345]]}"#);
+    }
+}

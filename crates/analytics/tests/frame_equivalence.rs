@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use satwatch_analytics::agg::{self, Enrichment};
-use satwatch_analytics::engine::{fig11_frame, fig2_frame, fig8a_frame, fig9_frame, table1_frame, table_cdn_frame};
+use satwatch_analytics::engine::{
+    fig11_frame, fig2_frame, fig8a_frame, fig9_frame, table1_frame, table_cdn_frame, ReportCtx,
+};
 use satwatch_analytics::frame::FrameBuilder;
 use satwatch_analytics::{Classifier, FlowFrame};
 use satwatch_monitor::record::RttSummary;
@@ -107,29 +109,30 @@ proptest! {
         let enr = enrichment();
         let fr = FlowFrame::from_records(&flows, &enr);
         let top = [Country::Congo, Country::Spain, Country::Nigeria];
+        let ctx = ReportCtx { enrichment: &enr, countries: &top };
         prop_assert_eq!(
             format!("{:?}", agg::table1(&flows)),
-            format!("{:?}", table1_frame(&fr, workers))
+            format!("{:?}", table1_frame(&fr, ctx, workers))
         );
         prop_assert_eq!(
             format!("{:?}", agg::fig2(&flows, &enr)),
-            format!("{:?}", fig2_frame(&fr, &enr, workers))
+            format!("{:?}", fig2_frame(&fr, ctx, workers))
         );
         prop_assert_eq!(
             format!("{:?}", agg::fig8a(&flows, &enr, &top)),
-            format!("{:?}", fig8a_frame(&fr, &top, workers))
+            format!("{:?}", fig8a_frame(&fr, ctx, workers))
         );
         prop_assert_eq!(
             format!("{:?}", agg::fig9(&flows, &enr, &top)),
-            format!("{:?}", fig9_frame(&fr, &top, workers))
+            format!("{:?}", fig9_frame(&fr, ctx, workers))
         );
         prop_assert_eq!(
             format!("{:?}", agg::fig11(&flows, &enr, &top)),
-            format!("{:?}", fig11_frame(&fr, &top, workers))
+            format!("{:?}", fig11_frame(&fr, ctx, workers))
         );
         prop_assert_eq!(
             format!("{:?}", agg::table_cdn_selection(&flows, &[], &enr, &top, 1)),
-            format!("{:?}", table_cdn_frame(&fr, &[], &top, 1, workers))
+            format!("{:?}", table_cdn_frame(&fr, &[], ctx, 1, workers))
         );
         let classifier = Classifier::standard();
         prop_assert_eq!(

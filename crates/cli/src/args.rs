@@ -40,6 +40,47 @@ impl std::error::Error for ArgError {}
 /// Option keys that are boolean flags (no value).
 const FLAGS: &[&str] = &["no-pep", "african-gs", "force-operator-dns", "smoke", "help", "no-metrics"];
 
+/// How a command obtains the analytics inputs — the one shared
+/// `--report-mode` vocabulary for `report`, `bench`, and `query`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// Record path: `Vec<FlowRecord>` + slice-based `agg` passes.
+    Records,
+    /// Batch columnar: run, then build the frame from records.
+    #[default]
+    Columnar,
+    /// Streaming columnar: frames built from the eviction stream,
+    /// no record vector ever materialized.
+    Streaming,
+}
+
+impl ReportMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportMode::Records => "records",
+            ReportMode::Columnar => "columnar",
+            ReportMode::Streaming => "streaming",
+        }
+    }
+}
+
+impl std::str::FromStr for ReportMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ReportMode, String> {
+        match s {
+            "records" => Ok(ReportMode::Records),
+            "columnar" => Ok(ReportMode::Columnar),
+            "streaming" => Ok(ReportMode::Streaming),
+            other => Err(format!("unknown report mode: {other} (expected records|columnar|streaming)")),
+        }
+    }
+}
+
+/// The single help string for `--report-mode`, shared verbatim by
+/// every subcommand that accepts it.
+pub const REPORT_MODE_HELP: &str = "--report-mode M   analytics input: records | columnar (default) | streaming";
+
 impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
         let mut it = argv.into_iter();
@@ -80,6 +121,11 @@ impl Args {
             Some(v) => v.parse().map_err(|_| ArgError::BadValue { key: key.to_string(), value: v.clone() }),
         }
     }
+
+    /// The shared `--report-mode` option (default [`ReportMode::Columnar`]).
+    pub fn report_mode(&self) -> Result<ReportMode, ArgError> {
+        self.get_parsed("report-mode", ReportMode::default())
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +159,17 @@ mod tests {
     #[test]
     fn help_shortcut() {
         assert_eq!(parse(&["--help"]).unwrap().command, "help");
+    }
+
+    #[test]
+    fn report_mode_parses_and_defaults() {
+        let a = parse(&["report", "--report-mode", "streaming"]).unwrap();
+        assert_eq!(a.report_mode(), Ok(ReportMode::Streaming));
+        let a = parse(&["report"]).unwrap();
+        assert_eq!(a.report_mode(), Ok(ReportMode::Columnar));
+        let a = parse(&["report", "--report-mode", "rowwise"]).unwrap();
+        assert!(matches!(a.report_mode(), Err(ArgError::BadValue { .. })));
+        assert_eq!(ReportMode::Records.name(), "records");
     }
 
     #[test]

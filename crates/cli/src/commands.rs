@@ -1,8 +1,10 @@
 //! Subcommand implementations for the `satwatch` binary.
 
-use crate::args::Args;
+use crate::args::{Args, ReportMode, REPORT_MODE_HELP};
+use satwatch_analytics::{Enrichment, FlowFrame, ReportCtx};
 use satwatch_errant::{export as errant_export, fit_profiles, leo, Period};
 use satwatch_monitor::record::write_flows;
+use satwatch_monitor::DnsRecord;
 use satwatch_scenario::{experiments, run, Dataset, ScenarioConfig};
 use satwatch_traffic::Country;
 use std::error::Error;
@@ -10,7 +12,12 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-pub const USAGE: &str = "\
+/// The full help text. A function (not a const) so the one shared
+/// [`REPORT_MODE_HELP`] string can be spliced into every subcommand
+/// that accepts `--report-mode` — the three never drift apart.
+pub fn usage() -> String {
+    format!(
+        "\
 usage: satwatch <command> [options]
 
 commands:
@@ -18,15 +25,23 @@ commands:
                 --out DIR (default: satwatch-logs)
                 --pcap FILE [--snaplen N]   also write a pcap capture
   replay      re-run the analyses over logs written by `simulate`
-                --logs DIR --figure {all|table1|…}
+                --logs DIR --figure {{all|table1|…}}
   report      run a scenario and render figures/tables
-                --figure {all|table1|fig2|...|fig11|table2}
-                --report-mode {records|columnar}
+                --figure {{all|table1|fig2|...|fig11|table2}}
+                {rm}
                              records: per-figure passes over the flow
-                             record slice; columnar: stream evicted
-                             flows into a column frame and run the
-                             fused one-pass sweep (same bytes out)
+                             record slice; columnar: batch frame build
+                             + fused one-pass sweep; streaming: frame
+                             fed by the eviction stream, records never
+                             materialised (same bytes out either way)
                 --csv DIR    also write plot-ready CSVs
+  query       run an aggregation pipeline over the flow frame
+                --pipeline JSON        inline pipeline text
+                --pipeline-file FILE   pipeline from a JSON file
+                                (stages: match, group, project, sort,
+                                 limit — see DESIGN.md §11)
+                --format {{text|csv|json}}  table rendering (default text)
+                {rm}
   profiles    fit and export ERRANT emulation profiles
                 --out FILE (default: stdout)
   ablations   compare baseline vs A1/A2/A3 what-ifs
@@ -36,10 +51,7 @@ commands:
   rules       print the Table 3 service-classification rule set
   bench       time the pipeline at 1/2/4/8 workers, write JSON results
                 --out FILE (default: BENCH_parallel.json)
-                --report-mode {records|columnar|streaming}
-                          which analytics path to time (default
-                          records; streaming ingests evicted flows
-                          straight into the frame as they finish)
+                {rm}
                 --replicate N  tile the dataset N× before analytics so
                           analytics_ms is measurable (default 1)
                 --smoke   tiny single-worker workload; exercises the
@@ -67,11 +79,14 @@ observability (all commands):
   --metrics-interval MS  print a one-line live ticker to stderr every
                          MS milliseconds while the command runs
   --no-metrics           disable all telemetry recording (the output
-                         artifacts are byte-identical either way)";
+                         artifacts are byte-identical either way)",
+        rm = REPORT_MODE_HELP
+    )
+}
 
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
     if args.flag("help") || args.command == "help" {
-        println!("{USAGE}");
+        println!("{}", usage());
         return Ok(());
     }
     // Observability wrapper: an optional live ticker for the duration
@@ -101,11 +116,12 @@ fn run_command(args: &Args) -> Result<(), Box<dyn Error>> {
         "topdomains" => topdomains(args),
         "paper-check" => paper_check(args),
         "bench" => bench(args),
+        "query" => query(args),
         "rules" => {
             print!("{}", satwatch_analytics::Classifier::standard().render_rules());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+        other => Err(format!("unknown command {other:?}\n{}", usage()).into()),
     }
 }
 
@@ -227,11 +243,44 @@ fn simulate(args: &Args) -> Result<(), Box<dyn Error>> {
 
 fn report(args: &Args) -> Result<(), Box<dyn Error>> {
     let cfg = scenario_from(args)?;
-    match args.get("report-mode").unwrap_or("records") {
-        "records" => {}
-        "columnar" => return report_columnar(args, cfg),
-        other => return Err(format!("unknown --report-mode {other:?} (try records, columnar)").into()),
+    match args.report_mode()? {
+        ReportMode::Records => report_records(args, cfg),
+        mode => report_frame(args, cfg, mode),
     }
+}
+
+/// Build the analytics inputs for `mode`. Records and columnar both
+/// batch-run the scenario and build the frame from the completed
+/// record vector; streaming feeds evicted flows straight into the
+/// frame and never materialises the records. All three produce the
+/// same frame bytes (pinned by `columnar_equivalence.rs`).
+fn build_frame(cfg: ScenarioConfig, mode: ReportMode) -> (FlowFrame, Vec<DnsRecord>, Enrichment) {
+    match mode {
+        ReportMode::Records | ReportMode::Columnar => {
+            let ds = run_with_banner(cfg);
+            let fr = FlowFrame::from_records(&ds.flows, &ds.enrichment);
+            (fr, ds.dns, ds.enrichment)
+        }
+        ReportMode::Streaming => {
+            eprintln!(
+                "simulating {} customers × {} day(s), seed {} (streaming columnar ingest) …",
+                cfg.customers, cfg.days, cfg.seed
+            );
+            let t0 = std::time::Instant::now();
+            let cds = satwatch_scenario::run_streaming(cfg);
+            eprintln!(
+                "done in {:.1?}: {} packets, {} flows, {} DNS transactions",
+                t0.elapsed(),
+                cds.packets,
+                cds.frame.len(),
+                cds.dns.len()
+            );
+            (cds.frame, cds.dns, cds.enrichment)
+        }
+    }
+}
+
+fn report_records(args: &Args, cfg: ScenarioConfig) -> Result<(), Box<dyn Error>> {
     let which = args.get("figure").unwrap_or("all").to_ascii_lowercase();
     let ds = run_with_banner(cfg);
     let mut printed = false;
@@ -304,28 +353,16 @@ fn report(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// `report --report-mode columnar`: the same figures and tables, but
-/// produced by the streaming ingest path — evicted flows go straight
-/// into a [`satwatch_analytics::FlowFrame`] (the full record vector is
-/// never materialised) and every output comes from the fused
-/// single-sweep `report_all`. Output is byte-identical to the records
-/// path; the equivalence is pinned by `columnar_equivalence.rs`.
-fn report_columnar(args: &Args, cfg: ScenarioConfig) -> Result<(), Box<dyn Error>> {
+/// `report --report-mode {columnar|streaming}`: the same figures and
+/// tables as the records path, but every output comes from the fused
+/// single-sweep `report_all` over a [`FlowFrame`] — batch-built
+/// (columnar) or fed by the eviction stream (streaming). Output is
+/// byte-identical to the records path; the equivalence is pinned by
+/// `columnar_equivalence.rs`.
+fn report_frame(args: &Args, cfg: ScenarioConfig, mode: ReportMode) -> Result<(), Box<dyn Error>> {
     let workers = cfg.threads.max(1);
-    eprintln!(
-        "simulating {} customers × {} day(s), seed {} (columnar streaming ingest) …",
-        cfg.customers, cfg.days, cfg.seed
-    );
-    let t0 = std::time::Instant::now();
-    let cds = satwatch_scenario::run_streaming(cfg);
-    eprintln!(
-        "done in {:.1?}: {} packets, {} flows, {} DNS transactions",
-        t0.elapsed(),
-        cds.packets,
-        cds.frame.len(),
-        cds.dns.len()
-    );
-    let reports = experiments::paper_reports_columnar(&cds.frame, &cds.dns, &cds.enrichment, 10, workers);
+    let (frame, dns, enr) = build_frame(cfg, mode);
+    let reports = experiments::paper_reports_columnar(&frame, &dns, &enr, 10, workers);
     let which = args.get("figure").unwrap_or("all").to_ascii_lowercase();
     let mut printed = false;
     let mut want = |name: &str| {
@@ -391,7 +428,8 @@ fn report_columnar(args: &Args, cfg: ScenarioConfig) -> Result<(), Box<dyn Error
         fs::write(d.join("fig9.csv"), csv::fig9_csv(&reports.fig9, 200))?;
         fs::write(d.join("fig10.csv"), csv::fig10_csv(&reports.fig10))?;
         // the CSV export keeps the records path's lower flow floor
-        let table2_csv = satwatch_analytics::engine::table_cdn_frame(&cds.frame, &cds.dns, &Country::TOP6, 5, workers);
+        let ctx = ReportCtx { enrichment: &enr, countries: &Country::TOP6 };
+        let table2_csv = satwatch_analytics::engine::table_cdn_frame(&frame, &dns, ctx, 5, workers);
         fs::write(d.join("table2.csv"), csv::table_cdn_csv(&table2_csv))?;
         fs::write(d.join("fig11.csv"), csv::fig11_csv(&reports.fig11, 200))?;
         eprintln!("wrote 13 CSV files to {dir}");
@@ -427,9 +465,7 @@ fn topdomains(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn replay(args: &Args) -> Result<(), Box<dyn Error>> {
-    use satwatch_analytics::agg::Enrichment;
     use satwatch_monitor::record::read_flows;
-    use satwatch_monitor::DnsRecord;
     use satwatch_simcore::SimTime;
     let dir = args.get("logs").ok_or("replay needs --logs DIR (from `simulate --out DIR`)")?;
     let d = Path::new(dir);
@@ -532,12 +568,11 @@ struct BenchRun {
     report_digest: u64,
 }
 
-fn bench_once(mode: &str, cfg: ScenarioConfig, replicate: usize, workers: usize) -> BenchRun {
-    use satwatch_analytics::FlowFrame;
+fn bench_once(mode: ReportMode, cfg: ScenarioConfig, replicate: usize, workers: usize) -> BenchRun {
     use satwatch_scenario::digest::fnv1a;
     match mode {
         // Baseline: per-figure passes over the flow-record slice.
-        "records" => {
+        ReportMode::Records => {
             let t0 = std::time::Instant::now();
             let ds = run(cfg);
             let scenario_s = t0.elapsed().as_secs_f64();
@@ -564,7 +599,7 @@ fn bench_once(mode: &str, cfg: ScenarioConfig, replicate: usize, workers: usize)
         }
         // Columnar: frame build + fused one-pass sweep are both on the
         // analytics clock — that is the path being sold.
-        "columnar" => {
+        ReportMode::Columnar => {
             let t0 = std::time::Instant::now();
             let ds = run(cfg);
             let scenario_s = t0.elapsed().as_secs_f64();
@@ -589,7 +624,7 @@ fn bench_once(mode: &str, cfg: ScenarioConfig, replicate: usize, workers: usize)
         // Streaming: evicted flows feed the frame during the run, so
         // the frame build cost is inside scenario_s and peak RSS is
         // bounded by live flows, not total flows.
-        "streaming" => {
+        ReportMode::Streaming => {
             let t0 = std::time::Instant::now();
             let cds = satwatch_scenario::run_streaming(cfg);
             let scenario_s = t0.elapsed().as_secs_f64();
@@ -601,7 +636,6 @@ fn bench_once(mode: &str, cfg: ScenarioConfig, replicate: usize, workers: usize)
             std::hint::black_box(&reports);
             BenchRun { scenario_s, agg_s, packets: cds.packets, rows: fr.len(), dataset_digest: None, report_digest }
         }
-        other => unreachable!("mode {other:?} validated by bench()"),
     }
 }
 
@@ -618,10 +652,7 @@ fn bench_once(mode: &str, cfg: ScenarioConfig, replicate: usize, workers: usize)
 /// delta covering exactly that run.
 fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
     let smoke = args.flag("smoke");
-    let mode = args.get("report-mode").unwrap_or("records");
-    if !matches!(mode, "records" | "columnar" | "streaming") {
-        return Err(format!("unknown --report-mode {mode:?} (try records, columnar, streaming)").into());
-    }
+    let mode = args.report_mode()?;
     let replicate = args.get_parsed("replicate", 1usize)?.max(1);
     let base = if smoke {
         // CI mode: prove the bench path compiles and executes; the
@@ -635,8 +666,11 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
     let worker_counts: Vec<usize> =
         if smoke { vec![1] } else { [1usize, 2, 4, 8].iter().copied().filter(|&w| w <= cores * 2).collect() };
     let workload = format!(
-        "{} customers x {} day(s), seed {}, replicate {replicate}, {mode} analytics",
-        base.customers, base.days, base.seed
+        "{} customers x {} day(s), seed {}, replicate {replicate}, {} analytics",
+        base.customers,
+        base.days,
+        base.seed,
+        mode.name()
     );
     eprintln!("benchmarking {workload} at {worker_counts:?} workers …");
     let mut runs = Vec::new();
@@ -702,7 +736,7 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
             "  \"peak_rss_bytes\": {peak_rss},\n  \"runs\": [\n{runs}\n  ]\n}}\n"
         ),
         workload = workload,
-        mode = mode,
+        mode = mode.name(),
         replicate = replicate,
         cores = cores,
         peak_rss = peak_rss,
@@ -710,6 +744,43 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
     );
     fs::write(out_path, &json)?;
     eprintln!("wrote {out_path}");
+    Ok(())
+}
+
+/// `satwatch query`: run an aggregation pipeline (DESIGN.md §11) over
+/// the flow frame of a scenario run. The pipeline comes from
+/// `--pipeline '<json>'` or `--pipeline-file FILE`; the frame is built
+/// per the shared `--report-mode`. The rendered table goes to stdout,
+/// a one-line pushdown/row-count summary to stderr.
+fn query(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = scenario_from(args)?;
+    let workers = cfg.threads.max(1);
+    let src = match (args.get("pipeline"), args.get("pipeline-file")) {
+        (Some(_), Some(_)) => return Err("pass either --pipeline or --pipeline-file, not both".into()),
+        (Some(s), None) => s.to_string(),
+        (None, Some(path)) => fs::read_to_string(path)?,
+        (None, None) => {
+            return Err("query needs --pipeline '<json>' or --pipeline-file FILE\n\
+                 example: satwatch query --pipeline \
+                 '[{\"group\": {\"by\": [\"l7\"], \"aggs\": {\"bytes\": {\"sum\": \"bytes\"}}}}]'"
+                .into())
+        }
+    };
+    let pipeline = satwatch_analytics::Pipeline::parse(&src)?;
+    let (frame, _dns, _enr) = build_frame(cfg, args.report_mode()?);
+    let t0 = std::time::Instant::now();
+    let (table, stats) = satwatch_analytics::query::run_with_stats(&frame, &pipeline, workers)?;
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", table.render_text()),
+        "csv" => print!("{}", table.render_csv()),
+        "json" => println!("{}", table.render_json()),
+        other => return Err(format!("unknown --format {other:?} (try text, csv, json)").into()),
+    }
+    eprintln!(
+        "query: scanned {} rows, {} after pushdown, {} result rows in {:.1} ms",
+        stats.rows_scanned, stats.rows_after_pushdown, stats.result_rows, elapsed_ms
+    );
     Ok(())
 }
 
@@ -885,7 +956,8 @@ mod tests {
         let strm_path = dir.join("streaming.json");
         let rec_s = rec_path.to_str().unwrap().to_string();
         let strm_s = strm_path.to_str().unwrap().to_string();
-        dispatch(&parse(&["bench", "--smoke", "--customers", "8", "--out", &rec_s])).unwrap();
+        dispatch(&parse(&["bench", "--smoke", "--customers", "8", "--report-mode", "records", "--out", &rec_s]))
+            .unwrap();
         dispatch(&parse(&["bench", "--smoke", "--customers", "8", "--report-mode", "streaming", "--out", &strm_s]))
             .unwrap();
         let rec = std::fs::read_to_string(&rec_path).unwrap();
@@ -898,6 +970,57 @@ mod tests {
         assert_eq!(grab(&rec), grab(&strm), "records and streaming disagree on the rendered report");
         assert!(rec.contains("\"digest\": \""), "records mode carries the dataset digest");
         assert!(!strm.contains("\"digest\": \""), "streaming mode never materialises the record vector");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_runs_pipeline_in_every_mode() {
+        let pipeline = r#"[
+            {"match": {"not": {"isnull": {"col": "country"}}}},
+            {"group": {"by": ["l7"], "aggs": {"bytes": {"sum": "bytes"}, "flows": {"count": true}}}},
+            {"sort": "-bytes"},
+            {"limit": 3}
+        ]"#;
+        for mode in ["records", "columnar", "streaming"] {
+            let a = parse(&["query", "--customers", "8", "--report-mode", mode, "--pipeline", pipeline]);
+            dispatch(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn query_rejects_bad_input() {
+        // no pipeline at all
+        assert!(dispatch(&parse(&["query", "--customers", "8"])).is_err());
+        // both sources at once
+        let both = parse(&["query", "--pipeline", "[]", "--pipeline-file", "x.json"]);
+        assert!(dispatch(&both).is_err());
+        // malformed pipeline JSON
+        let bad = parse(&["query", "--customers", "8", "--pipeline", "{\"not a\": \"pipeline\"}"]);
+        assert!(dispatch(&bad).is_err());
+        // unknown output format
+        let fmt = parse(&[
+            "query",
+            "--customers",
+            "8",
+            "--format",
+            "xml",
+            "--pipeline",
+            r#"[{"group": {"aggs": {"n": {"count": true}}}}]"#,
+        ]);
+        assert!(dispatch(&fmt).is_err());
+    }
+
+    #[test]
+    fn query_pipeline_file_and_formats_render() {
+        let dir = std::env::temp_dir().join(format!("satwatch-query-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.json");
+        std::fs::write(&path, r#"{"pipeline": [{"group": {"aggs": {"flows": {"count": true}}}}]}"#).unwrap();
+        let p = path.to_str().unwrap().to_string();
+        for fmt in ["text", "csv", "json"] {
+            let a = parse(&["query", "--customers", "8", "--format", fmt, "--pipeline-file", &p]);
+            dispatch(&a).unwrap();
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

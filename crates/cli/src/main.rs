@@ -23,7 +23,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", commands::USAGE);
+            eprintln!("{}", commands::usage());
             return ExitCode::from(2);
         }
     };

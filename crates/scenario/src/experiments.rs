@@ -134,7 +134,8 @@ pub fn paper_reports_columnar(
     min_flows: usize,
     workers: usize,
 ) -> PaperReports {
-    satwatch_analytics::report_all(fr, dns, enr, &Country::TOP6, &FIG6_SERVICES, min_flows, workers)
+    let ctx = satwatch_analytics::ReportCtx { enrichment: enr, countries: &Country::TOP6 };
+    satwatch_analytics::report_all(fr, dns, ctx, &FIG6_SERVICES, min_flows, workers)
 }
 
 /// Summary statistics for ablation comparisons.

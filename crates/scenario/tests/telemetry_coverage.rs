@@ -51,6 +51,29 @@ fn snapshot_covers_every_pipeline_layer() {
     let h = snap.histogram("analytics_table1_us").expect("analytics span registered");
     assert!(h.count >= 1);
 
+    // query DSL: per-stage spans and pushdown counters
+    let fr = satwatch_analytics::FlowFrame::from_records(&ds.flows, &ds.enrichment);
+    let p = satwatch_analytics::Pipeline::parse(
+        r#"[
+            {"match": {"eq": [{"col": "country"}, "ES"]}},
+            {"group": {"by": ["l7"], "aggs": {"bytes": {"sum": "bytes"}}}},
+            {"sort": "-bytes"}
+        ]"#,
+    )
+    .unwrap();
+    let _ = satwatch_analytics::query::run(&fr, &p, 2).unwrap();
+    let snap = Snapshot::take();
+    let counter = |name: &str| snap.counter(name).unwrap_or_else(|| panic!("{name} missing from snapshot"));
+    for span in ["query_run_us", "query_match_us", "query_group_us", "query_sort_us"] {
+        let h = snap.histogram(span).unwrap_or_else(|| panic!("{span} missing from snapshot"));
+        assert!(h.count >= 1, "{span} recorded");
+    }
+    assert_eq!(counter("query_rows_scanned_total"), fr.len() as u64);
+    assert!(
+        counter("query_rows_after_pushdown_total") < counter("query_rows_scanned_total"),
+        "the country LUT pruned rows before the wide columns were read"
+    );
+
     // beam gauges are exported per beam with labels
     assert!(
         snap.values.keys().any(|k| k.starts_with("scenario_beam_peak_utilization_pct{")),
