@@ -38,7 +38,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option keys that are boolean flags (no value).
-const FLAGS: &[&str] = &["no-pep", "african-gs", "force-operator-dns", "smoke", "help", "no-metrics"];
+const FLAGS: &[&str] = &["no-pep", "african-gs", "force-operator-dns", "smoke", "help", "no-metrics", "no-batching"];
 
 /// How a command obtains the analytics inputs — the one shared
 /// `--report-mode` vocabulary for `report`, `bench`, and `query`.

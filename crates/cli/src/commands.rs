@@ -56,6 +56,7 @@ commands:
                           analytics_ms is measurable (default 1)
                 --smoke   tiny single-worker workload; exercises the
                           bench path in CI without meaningful timings
+                          and diffs batched vs per-packet digests
   help        show this message
 
 scenario options (all commands):
@@ -68,6 +69,9 @@ scenario options (all commands):
   --shards N             probe shards for the span-port stream
                          (default 1 = inline probe, 0 = one per core;
                           output is bit-identical at any value)
+  --no-batching          drive the probe per packet instead of in
+                         run-granular batches (the slow reference
+                         path; output is byte-identical either way)
   --no-pep               disable the split-TCP PEP (A3)
   --african-gs           add an African ground station (A1)
   --force-operator-dns   force the operator resolver (A2)
@@ -154,6 +158,9 @@ fn scenario_from(args: &Args) -> Result<ScenarioConfig, Box<dyn Error>> {
         .with_seed(args.get_parsed("seed", 42u64)?)
         .with_threads(threads)
         .with_probe_shards(shards);
+    if args.flag("no-batching") {
+        cfg = cfg.with_packet_batching(false);
+    }
     if args.flag("no-pep") {
         cfg = cfg.without_pep();
     }
@@ -728,17 +735,34 @@ fn bench(args: &Args) -> Result<(), Box<dyn Error>> {
             metrics_json
         ));
     }
+    // Smoke mode doubles as the batch-equivalence gate: re-run the
+    // same workload through the per-packet oracle loop and diff both
+    // digests against the batched runs above. A mismatch is a hot-path
+    // ordering bug, so it fails CI loudly.
+    let mut batch_oracle = String::new();
+    if smoke {
+        let resolved = satwatch_simcore::resolve_workers_or_warn(worker_counts[0], "workers");
+        let cfg = base.with_threads(resolved).with_probe_shards(resolved).with_packet_batching(false);
+        let r = bench_once(mode, cfg, replicate, resolved);
+        if let (Some(want), Some(got)) = (dataset_ref, r.dataset_digest) {
+            assert_eq!(want, got, "per-packet oracle changed the dataset digest");
+        }
+        assert_eq!(report_ref, Some(r.report_digest), "per-packet oracle changed the report digest");
+        eprintln!("  batch-vs-per-packet digest diff: ok");
+        batch_oracle = "\n  \"batch_oracle_check\": \"ok\",".to_string();
+    }
     let peak_rss = satwatch_telemetry::peak_rss_bytes().map_or("null".to_string(), |b| b.to_string());
     let json = format!(
         concat!(
             "{{\n  \"workload\": \"{workload}\",\n  \"report_mode\": \"{mode}\",\n",
-            "  \"replicate\": {replicate},\n  \"cores\": {cores},\n",
+            "  \"replicate\": {replicate},\n  \"cores\": {cores},{batch_oracle}\n",
             "  \"peak_rss_bytes\": {peak_rss},\n  \"runs\": [\n{runs}\n  ]\n}}\n"
         ),
         workload = workload,
         mode = mode.name(),
         replicate = replicate,
         cores = cores,
+        batch_oracle = batch_oracle,
         peak_rss = peak_rss,
         runs = runs.join(",\n")
     );

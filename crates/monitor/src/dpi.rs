@@ -127,6 +127,25 @@ impl Dpi {
         }
     }
 
+    /// True once inspection can no longer change this flow's verdict
+    /// or domain: every further [`inspect`](Self::inspect) call would
+    /// hit a terminal short-circuit (or the cap) and be a no-op. The
+    /// batch hot path uses this to skip the call (and the payload
+    /// parse behind it) entirely — skipping is output-identical
+    /// because the terminal conditions are permanent: verdicts and
+    /// domains are never unset.
+    pub fn is_satisfied(&self) -> bool {
+        if self.inspected >= INSPECT_CAP {
+            return true;
+        }
+        if self.is_tcp {
+            // Http is *not* terminal: a later TLS record upgrades it.
+            self.verdict == Some(L7Protocol::TlsHttps) && self.domain.is_some()
+        } else {
+            self.verdict.is_some() && self.domain.is_some()
+        }
+    }
+
     /// Final protocol verdict for the flow record.
     pub fn verdict(&self) -> L7Protocol {
         match self.verdict {
@@ -245,6 +264,29 @@ mod tests {
         // a late ClientHello past the cap is not inspected
         d.inspect(&tls::client_hello("late.example", [0; 32]), true, &mut names);
         assert_eq!(d.domain(), None);
+    }
+
+    #[test]
+    fn satisfied_exactly_when_inspect_cannot_change_output() {
+        let mut names = DomainInterner::default();
+        // TLS with SNI: terminal
+        let mut d = Dpi::new(true, 443);
+        d.inspect(&tls::client_hello("a.example", [0; 32]), true, &mut names);
+        assert!(d.is_satisfied());
+        // HTTP with host: NOT terminal (TLS could still upgrade it)
+        let mut d = Dpi::new(true, 80);
+        d.inspect(&satwatch_netstack::http::get_request("b.example", "/", "ua"), true, &mut names);
+        assert!(!d.is_satisfied());
+        // UDP DNS: verdict without domain — not yet satisfied
+        let mut d = Dpi::new(false, 53);
+        d.inspect(&[1, 2, 3], true, &mut names);
+        assert!(!d.is_satisfied());
+        // cap always satisfies
+        let mut d = Dpi::new(false, 9999);
+        for _ in 0..INSPECT_CAP {
+            d.inspect(&[1, 2, 3], true, &mut names);
+        }
+        assert!(d.is_satisfied());
     }
 
     #[test]

@@ -258,6 +258,124 @@ impl FlowState {
         self.rst_seen || (self.fin_c2s && self.fin_s2c)
     }
 
+    /// The non-counter per-packet touches: last-seen stamp, early
+    /// packet log, download-data timing. Counter accumulation lives
+    /// with the caller so the stretch path can batch it in locals.
+    #[inline]
+    fn stamp(&mut self, t: SimTime, dir: Direction, pkt: &Packet, payload_len: u64, early_cap: usize) {
+        self.last = self.last.max(t);
+        if dir == Direction::S2c && payload_len > 0 {
+            self.s2c_data_first.get_or_insert(t);
+            self.s2c_data_last = Some(t);
+        }
+        if self.early.len() < early_cap {
+            self.early.push(EarlyPacket {
+                offset_ms: (t - self.first).as_millis_f64(),
+                wire_len: pkt.wire_len().min(u16::MAX as usize) as u16,
+                c2s: dir == Direction::C2s,
+            });
+        }
+    }
+
+    /// TCP state observation for one segment: handshake/teardown
+    /// flags, retransmission heuristic, RTT estimators, reassembly
+    /// into the DPI. Needs the shared intern table, nothing else from
+    /// the flow table — so the batch path can hold one `&mut` to the
+    /// flow across a whole stretch.
+    fn on_tcp(
+        &mut self,
+        t: SimTime,
+        dir: Direction,
+        tcp: &TcpHeader,
+        payload: &bytes::Bytes,
+        names: &mut DomainInterner,
+    ) {
+        if tcp.flags.syn() {
+            self.syn_seen = true;
+            // anchor the direction's stream at ISN + 1
+            let stream = match dir {
+                Direction::C2s => &mut self.c2s_stream,
+                Direction::S2c => &mut self.s2c_stream,
+            };
+            stream.set_base(tcp.seq + 1);
+        }
+        if tcp.flags.rst() {
+            self.rst_seen = true;
+        }
+        // Retransmission detection: a payload-bearing segment whose end
+        // does not advance the direction's high-water mark re-occupies
+        // already-seen sequence space (Tstat's rexmit heuristic).
+        if !payload.is_empty() {
+            let end = tcp.seq + payload.len() as u32;
+            let high = match dir {
+                Direction::C2s => &mut self.c2s_high,
+                Direction::S2c => &mut self.s2c_high,
+            };
+            match high {
+                Some(h) if !end.after(*h) => match dir {
+                    Direction::C2s => self.c2s_retrans += 1,
+                    Direction::S2c => self.s2c_retrans += 1,
+                },
+                Some(h) => *h = end,
+                None => *high = Some(end),
+            }
+        }
+        // Reassembly exists only to feed the DPI and the satellite-RTT
+        // estimator. Once both are terminal — the DPI verdict/domain
+        // can never change again (`is_satisfied` contract) and the
+        // handshake RTT sample is captured (`SatRtt` ignores all input
+        // after its first sample) — delivering more stream bytes is
+        // output-identical to dropping them, so skip the per-segment
+        // reassembler insert and inspect-buffer copy entirely. For a
+        // TLS bulk flow that removes ~2×128 KiB of memcpy. Checked
+        // here, per segment, so the per-packet and stretch paths make
+        // the same decision at the same point in the flow.
+        let inspect_done = self.sat.sample_ms().is_some() && self.dpi.is_satisfied();
+        match dir {
+            Direction::C2s => {
+                if tcp.flags.fin() {
+                    self.fin_c2s = true;
+                }
+                // outbound data (or SYN/FIN occupying sequence space)
+                let mut consumed = payload.len() as u32;
+                if tcp.flags.syn() || tcp.flags.fin() {
+                    consumed += 1;
+                }
+                if consumed > 0 {
+                    self.ground.on_data_out(t, tcp.seq + consumed);
+                }
+                if !inspect_done {
+                    let sat = &mut self.sat;
+                    let dpi = &mut self.dpi;
+                    for chunk in self.c2s_stream.insert(tcp.seq, payload) {
+                        self.c2s_inspect.feed(&chunk, |unit| {
+                            sat.on_c2s_payload(t, unit);
+                            dpi.inspect(unit, true, names);
+                        });
+                    }
+                }
+            }
+            Direction::S2c => {
+                if tcp.flags.fin() {
+                    self.fin_s2c = true;
+                }
+                if tcp.flags.ack() {
+                    self.ground.on_ack_in(t, tcp.ack);
+                }
+                if !inspect_done {
+                    let sat = &mut self.sat;
+                    let dpi = &mut self.dpi;
+                    for chunk in self.s2c_stream.insert(tcp.seq, payload) {
+                        self.s2c_inspect.feed(&chunk, |unit| {
+                            sat.on_s2c_payload(t, unit);
+                            dpi.inspect(unit, false, names);
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     fn into_record(self) -> FlowRecord {
         let ground_rtt = RttSummary::from_running(self.ground.stats());
         let l7 = self.dpi.verdict();
@@ -348,13 +466,18 @@ impl FlowTable {
             Direction::C2s => pkt.five_tuple(),
             Direction::S2c => pkt.five_tuple().reversed(),
         };
-        let early_cap = self.cfg.early_packets;
+        // Split borrows: the flow entry stays borrowed across the whole
+        // touch (one hash lookup per packet, where this used to be
+        // three: entry, TCP re-lookup, closed-check get).
+        let FlowTable { cfg, flows, finished, names, .. } = self;
         let mut inserted = false;
-        let flow = self.flows.entry(key).or_insert_with(|| {
+        let flow = flows.entry(key).or_insert_with(|| {
             inserted = true;
             FlowState::new(key, t)
         });
-        flow.last = flow.last.max(t);
+        if inserted {
+            metrics().live_flows.inc();
+        }
         let wire = pkt.wire_len() as u64;
         let payload = pkt.payload_len() as u64;
         match dir {
@@ -367,111 +490,101 @@ impl FlowTable {
                 flow.s2c_packets += 1;
                 flow.s2c_bytes += wire;
                 flow.s2c_payload += payload;
-                if payload > 0 {
-                    flow.s2c_data_first.get_or_insert(t);
-                    flow.s2c_data_last = Some(t);
-                }
             }
         }
-        if flow.early.len() < early_cap {
-            flow.early.push(EarlyPacket {
-                offset_ms: (t - flow.first).as_millis_f64(),
-                wire_len: pkt.wire_len().min(u16::MAX as usize) as u16,
-                c2s: dir == Direction::C2s,
-            });
-        }
-        if inserted {
-            metrics().live_flows.inc();
-        }
+        flow.stamp(t, dir, pkt, payload, cfg.early_packets);
         if let Transport::Tcp(tcp) = &pkt.transport {
-            self.process_tcp(t, dir, tcp, &pkt.payload, key);
-        } else {
-            let flow = self.flows.get_mut(&key).expect("flow just inserted");
-            flow.dpi.inspect(&pkt.payload, dir == Direction::C2s, &mut self.names);
+            flow.on_tcp(t, dir, tcp, &pkt.payload, names);
+        } else if !flow.dpi.is_satisfied() {
+            flow.dpi.inspect(&pkt.payload, dir == Direction::C2s, names);
         }
         // Closed TCP flows are finalised immediately (like Tstat).
-        if let Some(flow) = self.flows.get(&key) {
-            if flow.closed() {
-                let flow = self.flows.remove(&key).expect("flow present");
-                metrics().live_flows.dec();
-                self.finished.push(flow.into_record());
-            }
+        if flow.closed() {
+            let flow = flows.remove(&key).expect("flow present");
+            metrics().live_flows.dec();
+            finished.push(flow.into_record());
         }
     }
 
-    fn process_tcp(&mut self, t: SimTime, dir: Direction, tcp: &TcpHeader, payload: &bytes::Bytes, key: FiveTuple) {
-        let flow = self.flows.get_mut(&key).expect("flow exists");
-        if tcp.flags.syn() {
-            flow.syn_seen = true;
-            // anchor the direction's stream at ISN + 1
-            let stream = match dir {
-                Direction::C2s => &mut flow.c2s_stream,
-                Direction::S2c => &mut flow.s2c_stream,
-            };
-            stream.set_base(tcp.seq + 1);
+    /// Process the maximal same-flow stretch of `batch` starting at
+    /// `start`, returning the index one past the last packet consumed.
+    ///
+    /// Equivalent to calling [`process`](Self::process) per packet,
+    /// but the flow-table entry is resolved once for the whole stretch
+    /// and the per-direction packet/byte/payload counters accumulate
+    /// in locals, written back once. A mid-stretch close (FIN/RST)
+    /// ends the stretch at that packet — per-packet semantics let a
+    /// later same-key packet open a *new* flow, so the caller must
+    /// re-resolve.
+    pub fn process_stretch(&mut self, batch: &[(SimTime, Packet)], start: usize) -> usize {
+        let (t0, first) = &batch[start];
+        let Some(dir0) = self.direction(first) else {
+            self.transit_packets += 1;
+            metrics().transit.inc();
+            return start + 1;
+        };
+        let key = match dir0 {
+            Direction::C2s => first.five_tuple(),
+            Direction::S2c => first.five_tuple().reversed(),
+        };
+        // Extend the stretch while packets belong to this flow (either
+        // orientation). `key.src` is in the customer subnet and
+        // `key.dst` is not, so stretch membership implies a definite
+        // direction — no subnet checks in the loop.
+        let mut end = start + 1;
+        while end < batch.len() {
+            let ft = batch[end].1.five_tuple();
+            if ft != key && ft.reversed() != key {
+                break;
+            }
+            end += 1;
         }
-        if tcp.flags.rst() {
-            flow.rst_seen = true;
+        let FlowTable { cfg, flows, finished, names, .. } = self;
+        let mut inserted = false;
+        let flow = flows.entry(key).or_insert_with(|| {
+            inserted = true;
+            FlowState::new(key, *t0)
+        });
+        if inserted {
+            metrics().live_flows.inc();
         }
-        // Retransmission detection: a payload-bearing segment whose end
-        // does not advance the direction's high-water mark re-occupies
-        // already-seen sequence space (Tstat's rexmit heuristic).
-        if !payload.is_empty() {
-            let end = tcp.seq + payload.len() as u32;
-            let high = match dir {
-                Direction::C2s => &mut flow.c2s_high,
-                Direction::S2c => &mut flow.s2c_high,
-            };
-            match high {
-                Some(h) if !end.after(*h) => match dir {
-                    Direction::C2s => flow.c2s_retrans += 1,
-                    Direction::S2c => flow.s2c_retrans += 1,
-                },
-                Some(h) => *h = end,
-                None => *high = Some(end),
+        // [C2s, S2c] accumulators, indexed branchlessly by direction.
+        let mut pkts = [0u64; 2];
+        let mut bytes = [0u64; 2];
+        let mut payloads = [0u64; 2];
+        let mut consumed = end;
+        let mut closed = false;
+        for (i, (t, pkt)) in batch[start..end].iter().enumerate() {
+            let di = usize::from(pkt.ip.src != key.src);
+            let dir = if di == 0 { Direction::C2s } else { Direction::S2c };
+            let payload = pkt.payload_len() as u64;
+            pkts[di] += 1;
+            bytes[di] += pkt.wire_len() as u64;
+            payloads[di] += payload;
+            flow.stamp(*t, dir, pkt, payload, cfg.early_packets);
+            if let Transport::Tcp(tcp) = &pkt.transport {
+                flow.on_tcp(*t, dir, tcp, &pkt.payload, names);
+                if flow.closed() {
+                    consumed = start + i + 1;
+                    closed = true;
+                    break;
+                }
+            } else if !flow.dpi.is_satisfied() {
+                flow.dpi.inspect(&pkt.payload, di == 0, names);
             }
         }
-        match dir {
-            Direction::C2s => {
-                if tcp.flags.fin() {
-                    flow.fin_c2s = true;
-                }
-                // outbound data (or SYN/FIN occupying sequence space)
-                let mut consumed = payload.len() as u32;
-                if tcp.flags.syn() || tcp.flags.fin() {
-                    consumed += 1;
-                }
-                if consumed > 0 {
-                    flow.ground.on_data_out(t, tcp.seq + consumed);
-                }
-                let sat = &mut flow.sat;
-                let dpi = &mut flow.dpi;
-                let names = &mut self.names;
-                for chunk in flow.c2s_stream.insert(tcp.seq, payload) {
-                    flow.c2s_inspect.feed(&chunk, |unit| {
-                        sat.on_c2s_payload(t, unit);
-                        dpi.inspect(unit, true, names);
-                    });
-                }
-            }
-            Direction::S2c => {
-                if tcp.flags.fin() {
-                    flow.fin_s2c = true;
-                }
-                if tcp.flags.ack() {
-                    flow.ground.on_ack_in(t, tcp.ack);
-                }
-                let sat = &mut flow.sat;
-                let dpi = &mut flow.dpi;
-                let names = &mut self.names;
-                for chunk in flow.s2c_stream.insert(tcp.seq, payload) {
-                    flow.s2c_inspect.feed(&chunk, |unit| {
-                        sat.on_s2c_payload(t, unit);
-                        dpi.inspect(unit, false, names);
-                    });
-                }
-            }
+        flow.c2s_packets += pkts[0];
+        flow.c2s_bytes += bytes[0];
+        flow.c2s_payload += payloads[0];
+        flow.s2c_packets += pkts[1];
+        flow.s2c_bytes += bytes[1];
+        flow.s2c_payload += payloads[1];
+        if closed {
+            let flow = flows.remove(&key).expect("flow present");
+            metrics().live_flows.dec();
+            finished.push(flow.into_record());
         }
+        consumed
     }
 
     /// Evict flows idle at time `t`. Call periodically (the probe does).

@@ -20,6 +20,8 @@ use std::sync::OnceLock;
 /// the counters sum across them). Write-only on the packet path.
 struct Metrics {
     packets: &'static satwatch_telemetry::Counter,
+    batches: &'static satwatch_telemetry::Counter,
+    batch_len: &'static satwatch_telemetry::Histogram,
     parse_errors: &'static satwatch_telemetry::Counter,
     dns_answered: &'static satwatch_telemetry::Counter,
     dns_timeouts: &'static satwatch_telemetry::Counter,
@@ -30,6 +32,8 @@ fn metrics() -> &'static Metrics {
     static M: OnceLock<Metrics> = OnceLock::new();
     M.get_or_init(|| Metrics {
         packets: satwatch_telemetry::counter("monitor_packets_total"),
+        batches: satwatch_telemetry::counter("monitor_probe_batches_total"),
+        batch_len: satwatch_telemetry::histogram("monitor_probe_batch_len"),
         parse_errors: satwatch_telemetry::counter("monitor_parse_errors_total"),
         dns_answered: satwatch_telemetry::counter("monitor_dns_answered_total"),
         dns_timeouts: satwatch_telemetry::counter("monitor_dns_timeouts_total"),
@@ -135,15 +139,73 @@ impl Probe {
         }
     }
 
+    /// Observe a time-sorted batch of packets (one merge-drain slice —
+    /// typically a contiguous stretch of a single flow's run).
+    ///
+    /// Equivalent to calling [`observe`](Self::observe) per packet: if
+    /// the periodic sweep cannot trigger anywhere inside the batch
+    /// (checked once against the batch's last timestamp), the whole
+    /// slice takes the amortized [`process_batch`](Self::process_batch)
+    /// path; otherwise the rare sweep-straddling batch replays the
+    /// exact per-packet sequence so eviction timing is bit-identical.
+    pub fn observe_batch(&mut self, batch: &[(SimTime, Packet)]) {
+        let Some(&(t_last, _)) = batch.last() else { return };
+        if t_last - self.last_sweep < self.cfg.sweep_interval {
+            self.process_batch(batch);
+        } else {
+            for (t, pkt) in batch {
+                self.observe(*t, pkt);
+            }
+        }
+    }
+
+    /// The single place packet counts are maintained, so the batch,
+    /// per-packet and wire-error paths can never disagree: one counter
+    /// bump per batch instead of a thread-local metrics lookup per
+    /// packet.
+    fn note_packets(&mut self, n: u64) {
+        self.packets += n;
+        metrics().packets.add(n);
+    }
+
     /// Process one packet *without* the periodic-sweep check. The
     /// sharded probe uses this and drives [`Probe::sweep_now`]
     /// globally, so eviction timing is identical at any shard count
     /// (a shard seeing few packets must not sweep late).
     pub fn process_packet(&mut self, t: SimTime, pkt: &Packet) {
-        self.packets += 1;
-        metrics().packets.inc();
+        self.note_packets(1);
         self.table.process(t, pkt);
         self.maybe_log_dns(t, pkt);
+        self.drain_to_sink();
+    }
+
+    /// Process a time-sorted batch *without* the periodic-sweep check
+    /// (the batch counterpart of [`process_packet`](Self::process_packet),
+    /// used by the sharded workers). The flow table walks the batch in
+    /// same-flow stretches — entry resolved once, counters accumulated
+    /// in locals — and the DNS transaction log only sees the port-53
+    /// UDP stretches. Sink draining happens once per batch; eviction
+    /// order within a batch is not observable (the [`FlowSink`]
+    /// contract already requires consumers to re-sort).
+    pub fn process_batch(&mut self, batch: &[(SimTime, Packet)]) {
+        self.note_packets(batch.len() as u64);
+        let m = metrics();
+        m.batches.inc();
+        m.batch_len.record(batch.len() as u64);
+        let mut i = 0;
+        while i < batch.len() {
+            let j = self.table.process_stretch(batch, i);
+            // Every packet in a stretch shares its flow's port pair, so
+            // one check gates the per-packet DNS inspection loop.
+            if let Transport::Udp(udp) = &batch[i].1.transport {
+                if udp.dst_port == 53 || udp.src_port == 53 {
+                    for (t, pkt) in &batch[i..j] {
+                        self.maybe_log_dns(*t, pkt);
+                    }
+                }
+            }
+            i = j;
+        }
         self.drain_to_sink();
     }
 
@@ -167,18 +229,41 @@ impl Probe {
     }
 
     /// Observe a packet from raw wire bytes (exercises the full parse
-    /// path; used where the feeding side serialises).
+    /// path; used where the feeding side serialises). Counting goes
+    /// through [`note_packets`](Self::note_packets) on both arms, so
+    /// the wire path agrees with batch accounting even on parse
+    /// errors.
     pub fn observe_wire(&mut self, t: SimTime, wire: &[u8]) {
         match Packet::parse(wire) {
             Ok(pkt) => self.observe(t, &pkt),
             Err(_) => {
-                self.packets += 1;
+                self.note_packets(1);
                 self.parse_errors += 1;
-                let m = metrics();
-                m.packets.inc();
-                m.parse_errors.inc();
+                metrics().parse_errors.inc();
             }
         }
+    }
+
+    /// Observe a time-sorted batch of wire-encoded packets. Maximal
+    /// contiguous parseable sub-batches go through
+    /// [`observe_batch`](Self::observe_batch); each unparseable frame
+    /// is counted exactly once at its position, like
+    /// [`observe_wire`](Self::observe_wire) would.
+    pub fn observe_wire_batch(&mut self, batch: &[(SimTime, Vec<u8>)]) {
+        let mut parsed: Vec<(SimTime, Packet)> = Vec::with_capacity(batch.len());
+        for (t, wire) in batch {
+            match Packet::parse(wire) {
+                Ok(pkt) => parsed.push((*t, pkt)),
+                Err(_) => {
+                    self.observe_batch(&parsed);
+                    parsed.clear();
+                    self.note_packets(1);
+                    self.parse_errors += 1;
+                    metrics().parse_errors.inc();
+                }
+            }
+        }
+        self.observe_batch(&parsed);
     }
 
     fn maybe_log_dns(&mut self, t: SimTime, pkt: &Packet) {

@@ -47,6 +47,9 @@ const SHARD_QUEUE_DEPTH: usize = 4_096;
 
 enum ShardMsg {
     Packet(SimTime, Packet),
+    /// A time-sorted same-host-pair slice, processed by the worker as
+    /// one [`Probe::process_batch`] call.
+    Batch(Vec<(SimTime, Packet)>),
     Sweep(SimTime),
 }
 
@@ -134,6 +137,10 @@ impl ShardedProbe {
                                     shard_packets.inc();
                                     probe.process_packet(t, &pkt);
                                 }
+                                ShardMsg::Batch(b) => {
+                                    shard_packets.add(b.len() as u64);
+                                    probe.process_batch(&b);
+                                }
                                 ShardMsg::Sweep(t) => probe.sweep_now(t),
                             }
                         }
@@ -173,6 +180,50 @@ impl ShardedProbe {
                     }
                     self.last_sweep = t;
                 }
+            }
+        }
+    }
+
+    /// Observe a time-sorted batch of packets (one merge-drain slice).
+    /// Equivalent to per-packet [`observe`](Self::observe): when the
+    /// sweep clock cannot fire inside the batch, the slice is routed
+    /// in same-host-pair sub-batches (shard hash computed once per
+    /// pair change, one channel send per sub-batch); a batch that
+    /// straddles a sweep moment replays the per-packet sequence so
+    /// the sweep broadcast lands at exactly the single-probe moment.
+    pub fn observe_batch(&mut self, batch: &[(SimTime, Packet)]) {
+        let Some(&(t_last, _)) = batch.last() else { return };
+        if matches!(self.mode, Mode::Threaded { .. }) && t_last - self.last_sweep >= self.sweep_interval {
+            for (t, pkt) in batch {
+                self.observe(*t, pkt);
+            }
+            return;
+        }
+        self.packets += batch.len() as u64;
+        match &mut self.mode {
+            // the inline probe keeps its own sweep clock
+            Mode::Single(probe) => probe.observe_batch(batch),
+            Mode::Threaded { senders, .. } => {
+                let n = senders.len();
+                let mut start = 0;
+                let (mut last_src, mut last_dst) = (batch[0].1.ip.src, batch[0].1.ip.dst);
+                let mut cur_shard = shard_of(last_src, last_dst, n);
+                for (i, (_, pkt)) in batch.iter().enumerate().skip(1) {
+                    let (s, d) = (pkt.ip.src, pkt.ip.dst);
+                    // a run alternates between at most a couple of host
+                    // pairs; only rehash when the pair actually changes
+                    if (s == last_src && d == last_dst) || (s == last_dst && d == last_src) {
+                        continue;
+                    }
+                    (last_src, last_dst) = (s, d);
+                    let shard = shard_of(s, d, n);
+                    if shard != cur_shard {
+                        senders[cur_shard].send(ShardMsg::Batch(batch[start..i].to_vec())).expect("probe shard alive");
+                        start = i;
+                        cur_shard = shard;
+                    }
+                }
+                senders[cur_shard].send(ShardMsg::Batch(batch[start..].to_vec())).expect("probe shard alive");
             }
         }
     }

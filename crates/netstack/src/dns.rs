@@ -9,7 +9,7 @@
 //! question).
 
 use crate::ip::ParseError;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use std::net::Ipv4Addr;
 
 pub const DNS_HEADER_LEN: usize = 12;
@@ -126,8 +126,18 @@ impl DnsMessage {
     }
 
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64);
-        b.put_u16(self.id);
+        let mut b = Vec::with_capacity(64);
+        self.encode_into(&mut b);
+        Bytes::from(b)
+    }
+
+    /// Append-into twin of [`encode`](DnsMessage::encode). Compression
+    /// pointers are relative to the start of *this* message, so `buf`
+    /// must begin the message at its current length (the arena hands
+    /// each payload its own logical start).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let base = buf.len();
+        buf.extend_from_slice(&self.id.to_be_bytes());
         let mut flags: u16 = 0;
         if self.is_response {
             flags |= 0x8000;
@@ -139,17 +149,17 @@ impl DnsMessage {
             flags |= 0x0080; // RA: our resolvers always recurse
         }
         flags |= u16::from(self.rcode.to_u8());
-        b.put_u16(flags);
-        b.put_u16(u16::from(self.question.is_some()));
-        b.put_u16(self.answers.len() as u16);
-        b.put_u16(0); // NS count
-        b.put_u16(0); // AR count
+        buf.extend_from_slice(&flags.to_be_bytes());
+        buf.extend_from_slice(&u16::from(self.question.is_some()).to_be_bytes());
+        buf.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes()); // NS count
+        buf.extend_from_slice(&0u16.to_be_bytes()); // AR count
         let mut question_offset = None;
         if let Some((name, rtype)) = &self.question {
-            question_offset = Some(b.len());
-            encode_name(&mut b, name);
-            b.put_u16(rtype.to_u16());
-            b.put_u16(1); // class IN
+            question_offset = Some(buf.len() - base);
+            encode_name(buf, name);
+            buf.extend_from_slice(&rtype.to_u16().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
         }
         for ans in &self.answers {
             let (name, rtype, ttl) = match ans {
@@ -160,27 +170,27 @@ impl DnsMessage {
             // emit a pointer to it (the common case for A answers).
             match (&self.question, question_offset) {
                 (Some((qname, _)), Some(off)) if qname == name => {
-                    b.put_u16(0xC000 | off as u16);
+                    buf.extend_from_slice(&(0xC000 | off as u16).to_be_bytes());
                 }
-                _ => encode_name(&mut b, name),
+                _ => encode_name(buf, name),
             }
-            b.put_u16(rtype.to_u16());
-            b.put_u16(1); // class IN
-            b.put_u32(ttl);
+            buf.extend_from_slice(&rtype.to_u16().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+            buf.extend_from_slice(&ttl.to_be_bytes());
             match ans {
                 Answer::A { addr, .. } => {
-                    b.put_u16(4);
-                    b.put_slice(&addr.octets());
+                    buf.extend_from_slice(&4u16.to_be_bytes());
+                    buf.extend_from_slice(&addr.octets());
                 }
                 Answer::Cname { target, .. } => {
-                    let mut t = BytesMut::new();
-                    encode_name(&mut t, target);
-                    b.put_u16(t.len() as u16);
-                    b.put_slice(&t);
+                    let at = buf.len();
+                    buf.extend_from_slice(&[0, 0]); // rdlen, backpatched
+                    encode_name(buf, target);
+                    let rdlen = (buf.len() - at - 2) as u16;
+                    buf[at..at + 2].copy_from_slice(&rdlen.to_be_bytes());
                 }
             }
         }
-        b.freeze()
     }
 
     pub fn parse(buf: &[u8]) -> Result<DnsMessage, ParseError> {
@@ -247,13 +257,13 @@ impl DnsMessage {
     }
 }
 
-fn encode_name(b: &mut BytesMut, name: &str) {
+fn encode_name(b: &mut Vec<u8>, name: &str) {
     for label in name.split('.').filter(|l| !l.is_empty()) {
         debug_assert!(label.len() < 64, "label too long: {label}");
-        b.put_u8(label.len() as u8);
-        b.put_slice(label.as_bytes());
+        b.push(label.len() as u8);
+        b.extend_from_slice(label.as_bytes());
     }
-    b.put_u8(0);
+    b.push(0);
 }
 
 /// Decode a (possibly compressed) name starting at `start`. Returns

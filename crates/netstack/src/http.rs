@@ -6,19 +6,38 @@
 //! exactly like Tstat's HTTP DPI module.
 
 use bytes::Bytes;
+use std::io::Write;
 
 /// Build an HTTP/1.1 GET request head.
 pub fn get_request(host: &str, path: &str, user_agent: &str) -> Bytes {
-    Bytes::from(format!(
+    let mut b = Vec::new();
+    get_request_into(&mut b, host, path, user_agent);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`get_request`] for the payload arena.
+pub fn get_request_into(buf: &mut Vec<u8>, host: &str, path: &str, user_agent: &str) {
+    write!(
+        buf,
         "GET {path} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {user_agent}\r\nAccept: */*\r\nConnection: keep-alive\r\n\r\n"
-    ))
+    )
+    .expect("write to Vec cannot fail");
 }
 
 /// Build an HTTP/1.1 response head announcing `content_length` bytes.
 pub fn ok_response(content_length: u64, content_type: &str) -> Bytes {
-    Bytes::from(format!(
+    let mut b = Vec::new();
+    ok_response_into(&mut b, content_length, content_type);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`ok_response`].
+pub fn ok_response_into(buf: &mut Vec<u8>, content_length: u64, content_type: &str) {
+    write!(
+        buf,
         "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {content_length}\r\nServer: sw-origin\r\n\r\n"
-    ))
+    )
+    .expect("write to Vec cannot fail");
 }
 
 /// True if the buffer begins like an HTTP/1.x request.

@@ -50,15 +50,41 @@ pub struct Packet {
 impl Packet {
     /// Build a TCP packet, fixing up the IP total length.
     pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, tcp: TcpHeader, payload: Bytes) -> Packet {
-        let l4_len = tcp.wire_len() + payload.len();
-        Packet { ip: Ipv4Header::new(src, dst, proto::TCP, l4_len), transport: Transport::Tcp(tcp), payload }
+        let mut p = Packet::tcp_deferred(src, dst, tcp, payload.len());
+        p.payload = payload;
+        p
     }
 
     /// Build a UDP packet, fixing up both length fields.
     pub fn udp(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Bytes) -> Packet {
-        let udp = UdpHeader::new(src_port, dst_port, payload.len());
-        let l4_len = UDP_HEADER_LEN + payload.len();
-        Packet { ip: Ipv4Header::new(src, dst, proto::UDP, l4_len), transport: Transport::Udp(udp), payload }
+        let mut p = Packet::udp_deferred(src, dst, src_port, dst_port, payload.len());
+        p.payload = payload;
+        p
+    }
+
+    /// Build a TCP packet whose payload bytes arrive later: all length
+    /// fields are baked from `payload_len`, the payload itself is an
+    /// empty placeholder the caller patches once the bytes exist (the
+    /// arena path freezes one buffer per flow and slices it back).
+    /// Until then `wire_len`/`payload_len` disagree with the header.
+    pub fn tcp_deferred(src: Ipv4Addr, dst: Ipv4Addr, tcp: TcpHeader, payload_len: usize) -> Packet {
+        let l4_len = tcp.wire_len() + payload_len;
+        Packet {
+            ip: Ipv4Header::new(src, dst, proto::TCP, l4_len),
+            transport: Transport::Tcp(tcp),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// UDP twin of [`Packet::tcp_deferred`].
+    pub fn udp_deferred(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload_len: usize) -> Packet {
+        let udp = UdpHeader::new(src_port, dst_port, payload_len);
+        let l4_len = UDP_HEADER_LEN + payload_len;
+        Packet {
+            ip: Ipv4Header::new(src, dst, proto::UDP, l4_len),
+            transport: Transport::Udp(udp),
+            payload: Bytes::new(),
+        }
     }
 
     /// Convenience: a bare TCP control packet (SYN/ACK/FIN/RST).

@@ -76,47 +76,67 @@ pub fn get_varint(buf: &[u8]) -> Result<(u64, usize), ParseError> {
 /// Build a QUIC Initial packet whose CRYPTO frame carries a TLS
 /// ClientHello with `sni`.
 pub fn initial_with_sni(dcid: &[u8], scid: &[u8], sni: &str, random: [u8; 32]) -> Bytes {
+    let mut b = Vec::new();
+    initial_with_sni_into(&mut b, dcid, scid, sni, random);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`initial_with_sni`] for the payload arena.
+///
+/// The CRYPTO frame data is the TLS handshake *message* (no record
+/// framing, per RFC 9001 §4). Both length varints are written as
+/// fixed 2-byte placeholders and backpatched: the ClientHello message
+/// is always ≥ 71 bytes (fixed fields alone are 70) and the padded
+/// payload ≥ 1151, so both values land in the 2-byte varint range
+/// [0x40, 0x3fff] that `put_varint` would have chosen anyway.
+pub fn initial_with_sni_into(buf: &mut Vec<u8>, dcid: &[u8], scid: &[u8], sni: &str, random: [u8; 32]) {
     assert!(dcid.len() <= 20 && scid.len() <= 20);
+    buf.push(0b1100_0000 | (LongType::Initial.bits() << 4)); // fixed bit + long header
+    buf.extend_from_slice(&QUIC_V1.to_be_bytes());
+    buf.push(dcid.len() as u8);
+    buf.extend_from_slice(dcid);
+    buf.push(scid.len() as u8);
+    buf.extend_from_slice(scid);
+    buf.push(0x00); // token length: varint(0)
+    let len_at = buf.len();
+    buf.extend_from_slice(&[0, 0]); // packet length, backpatched
+    buf.push(0); // packet number (1 byte)
+    let payload_at = buf.len();
     // CRYPTO frame: type 0x06, offset varint, length varint, data.
-    // The data is the TLS handshake message (without record framing,
-    // per RFC 9001 §4; we reuse the record builder and strip the
-    // 5-byte record header).
-    let ch_record = tls::client_hello(sni, random);
-    let ch = &ch_record[tls::RECORD_HEADER_LEN..];
-    let mut payload = BytesMut::new();
-    payload.put_u8(0x06);
-    put_varint(&mut payload, 0);
-    put_varint(&mut payload, ch.len() as u64);
-    payload.put_slice(ch);
+    buf.push(0x06);
+    buf.push(0x00); // offset: varint(0)
+    let ch_len_at = buf.len();
+    buf.extend_from_slice(&[0, 0]); // CRYPTO data length, backpatched
+    let ch_at = buf.len();
+    tls::client_hello_msg_into(buf, sni, random);
+    let ch_len = buf.len() - ch_at;
+    debug_assert!((0x40..=0x3fff).contains(&ch_len));
+    buf[ch_len_at..ch_len_at + 2].copy_from_slice(&(0x4000 | ch_len as u16).to_be_bytes());
     // PADDING frames to the minimum Initial size clients use (1200B UDP
     // datagram); keep the header contribution in mind but exactness is
     // not required for DPI.
-    while payload.len() < 1150 {
-        payload.put_u8(0x00);
+    if buf.len() - payload_at < 1150 {
+        buf.resize(payload_at + 1150, 0x00);
     }
-
-    let mut b = BytesMut::new();
-    b.put_u8(0b1100_0000 | (LongType::Initial.bits() << 4)); // fixed bit + long header
-    b.put_u32(QUIC_V1);
-    b.put_u8(dcid.len() as u8);
-    b.put_slice(dcid);
-    b.put_u8(scid.len() as u8);
-    b.put_slice(scid);
-    put_varint(&mut b, 0); // token length
-    put_varint(&mut b, payload.len() as u64 + 1); // length = pn + payload
-    b.put_u8(0); // packet number (1 byte)
-    b.put_slice(&payload);
-    b.freeze()
+    let length = buf.len() - payload_at + 1; // length = pn + payload
+    debug_assert!((0x40..=0x3fff).contains(&length));
+    buf[len_at..len_at + 2].copy_from_slice(&(0x4000 | length as u16).to_be_bytes());
 }
 
 /// Build a QUIC short-header (1-RTT) packet of `len` payload bytes.
 pub fn short_packet(dcid: &[u8], len: usize, fill: u8) -> Bytes {
-    let mut b = BytesMut::with_capacity(1 + dcid.len() + 1 + len);
-    b.put_u8(0b0100_0000); // fixed bit, short header
-    b.put_slice(dcid);
-    b.put_u8(0); // packet number
-    b.put_bytes(fill, len);
-    b.freeze()
+    let mut b = Vec::with_capacity(1 + dcid.len() + 1 + len);
+    short_packet_into(&mut b, dcid, len, fill);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`short_packet`].
+pub fn short_packet_into(buf: &mut Vec<u8>, dcid: &[u8], len: usize, fill: u8) {
+    buf.reserve(1 + dcid.len() + 1 + len);
+    buf.push(0b0100_0000); // fixed bit, short header
+    buf.extend_from_slice(dcid);
+    buf.push(0); // packet number
+    buf.resize(buf.len() + len, fill);
 }
 
 /// A parsed QUIC long header.

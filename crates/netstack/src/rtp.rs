@@ -26,12 +26,22 @@ impl RtpHeader {
         // payloads megabytes long), where header-then-fill appends
         // would fault in and write every page.
         let mut v = vec![fill; RTP_HEADER_LEN + payload_len];
+        v[..RTP_HEADER_LEN].copy_from_slice(&self.header_bytes());
+        Bytes::from(v)
+    }
+
+    /// Just the 12 wire bytes of the fixed header — what a monitor's
+    /// DPI actually reads. The flow simulator writes these into a
+    /// shared arena block and lets consecutive packets' payload slices
+    /// overlap, so only headers (not media fill) are ever materialised.
+    pub fn header_bytes(&self) -> [u8; RTP_HEADER_LEN] {
+        let mut v = [0u8; RTP_HEADER_LEN];
         v[0] = 0x80; // version 2, no padding/extension/CSRC
         v[1] = (u8::from(self.marker) << 7) | (self.payload_type & 0x7f);
         v[2..4].copy_from_slice(&self.sequence.to_be_bytes());
         v[4..8].copy_from_slice(&self.timestamp.to_be_bytes());
         v[8..12].copy_from_slice(&self.ssrc.to_be_bytes());
-        Bytes::from(v)
+        v
     }
 
     pub fn parse(buf: &[u8]) -> Result<(RtpHeader, usize), ParseError> {

@@ -14,7 +14,7 @@
 //! random-filled, which is indistinguishable to a passive monitor.
 
 use crate::ip::ParseError;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 /// TLS record content types.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,12 +87,24 @@ pub const RECORD_HEADER_LEN: usize = 5;
 
 /// Frame `body` as a single TLS record.
 pub fn record(content: ContentType, body: &[u8]) -> Bytes {
-    let mut b = BytesMut::with_capacity(RECORD_HEADER_LEN + body.len());
-    b.put_u8(content.to_u8());
-    b.put_slice(&TLS12);
-    b.put_u16(body.len() as u16);
-    b.put_slice(body);
-    b.freeze()
+    let mut b = Vec::with_capacity(RECORD_HEADER_LEN + body.len());
+    record_into(&mut b, content, |b| b.extend_from_slice(body));
+    Bytes::from(b)
+}
+
+/// Append one TLS record to `buf`: header first, body written in
+/// place by `f`, length backpatched. The append-into-`Vec` form is
+/// what the flow simulator's payload arena uses — every builder below
+/// has an `_into` twin so a whole handshake flight lands in one
+/// buffer without intermediate allocations.
+pub fn record_into(buf: &mut Vec<u8>, content: ContentType, f: impl FnOnce(&mut Vec<u8>)) {
+    buf.push(content.to_u8());
+    buf.extend_from_slice(&TLS12);
+    let at = buf.len();
+    buf.extend_from_slice(&[0, 0]);
+    f(buf);
+    let len = (buf.len() - at - 2) as u16;
+    buf[at..at + 2].copy_from_slice(&len.to_be_bytes());
 }
 
 /// A parsed TLS record (borrowing the body).
@@ -147,109 +159,171 @@ impl<'a> Iterator for RecordIter<'a> {
 /// Build a ClientHello handshake record carrying an SNI extension.
 /// `random` should come from the flow's deterministic RNG.
 pub fn client_hello(sni: &str, random: [u8; 32]) -> Bytes {
-    let mut body = BytesMut::new();
-    body.put_slice(&TLS12); // client_version
-    body.put_slice(&random);
-    body.put_u8(0); // session_id length
-                    // cipher suites: a realistic short list
-    let suites: [u16; 4] = [0xc02f, 0xc030, 0x009e, 0x002f];
-    body.put_u16(suites.len() as u16 * 2);
-    for s in suites {
-        body.put_u16(s);
-    }
-    body.put_u8(1); // compression methods length
-    body.put_u8(0); // null compression
+    let mut b = Vec::new();
+    client_hello_into(&mut b, sni, random);
+    Bytes::from(b)
+}
 
-    // extensions
-    let mut exts = BytesMut::new();
-    // server_name (type 0)
-    let name = sni.as_bytes();
-    let mut sni_ext = BytesMut::new();
-    sni_ext.put_u16(name.len() as u16 + 3); // server name list length
-    sni_ext.put_u8(0); // name type: host_name
-    sni_ext.put_u16(name.len() as u16);
-    sni_ext.put_slice(name);
-    exts.put_u16(0); // extension type
-    exts.put_u16(sni_ext.len() as u16);
-    exts.put_slice(&sni_ext);
-    // supported_groups (type 10) — fixed minimal contents
-    exts.put_u16(10);
-    exts.put_u16(4);
-    exts.put_u16(2); // list length
-    exts.put_u16(0x001d); // x25519
+/// Append-into twin of [`client_hello`].
+pub fn client_hello_into(buf: &mut Vec<u8>, sni: &str, random: [u8; 32]) {
+    record_into(buf, ContentType::Handshake, |b| client_hello_msg_into(b, sni, random));
+}
 
-    body.put_u16(exts.len() as u16);
-    body.put_slice(&exts);
+/// The bare ClientHello handshake *message* (no record framing) — the
+/// QUIC Initial embeds exactly this in its CRYPTO frame (RFC 9001 §4).
+pub fn client_hello_msg_into(buf: &mut Vec<u8>, sni: &str, random: [u8; 32]) {
+    handshake_msg_into(buf, HandshakeType::ClientHello, |body| {
+        body.extend_from_slice(&TLS12); // client_version
+        body.extend_from_slice(&random);
+        body.push(0); // session_id length
+                      // cipher suites: a realistic short list
+        let suites: [u16; 4] = [0xc02f, 0xc030, 0x009e, 0x002f];
+        body.extend_from_slice(&(suites.len() as u16 * 2).to_be_bytes());
+        for s in suites {
+            body.extend_from_slice(&s.to_be_bytes());
+        }
+        body.push(1); // compression methods length
+        body.push(0); // null compression
 
-    record(ContentType::Handshake, &handshake_msg(HandshakeType::ClientHello, &body))
+        // extensions, total length backpatched
+        let exts_at = body.len();
+        body.extend_from_slice(&[0, 0]);
+        // server_name (type 0)
+        let name = sni.as_bytes();
+        body.extend_from_slice(&0u16.to_be_bytes()); // extension type
+        body.extend_from_slice(&(name.len() as u16 + 5).to_be_bytes());
+        body.extend_from_slice(&(name.len() as u16 + 3).to_be_bytes()); // server name list length
+        body.push(0); // name type: host_name
+        body.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        body.extend_from_slice(name);
+        // supported_groups (type 10) — fixed minimal contents
+        body.extend_from_slice(&10u16.to_be_bytes());
+        body.extend_from_slice(&4u16.to_be_bytes());
+        body.extend_from_slice(&2u16.to_be_bytes()); // list length
+        body.extend_from_slice(&0x001du16.to_be_bytes()); // x25519
+        let exts_len = (body.len() - exts_at - 2) as u16;
+        body[exts_at..exts_at + 2].copy_from_slice(&exts_len.to_be_bytes());
+    });
 }
 
 /// Build a ServerHello handshake record.
 pub fn server_hello(random: [u8; 32]) -> Bytes {
-    let mut body = BytesMut::new();
-    body.put_slice(&TLS12);
-    body.put_slice(&random);
-    body.put_u8(0); // session id length
-    body.put_u16(0xc02f); // chosen cipher suite
-    body.put_u8(0); // null compression
-    record(ContentType::Handshake, &handshake_msg(HandshakeType::ServerHello, &body))
+    let mut b = Vec::new();
+    server_hello_into(&mut b, random);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`server_hello`].
+pub fn server_hello_into(buf: &mut Vec<u8>, random: [u8; 32]) {
+    record_into(buf, ContentType::Handshake, |b| {
+        handshake_msg_into(b, HandshakeType::ServerHello, |body| {
+            body.extend_from_slice(&TLS12);
+            body.extend_from_slice(&random);
+            body.push(0); // session id length
+            body.extend_from_slice(&0xc02fu16.to_be_bytes()); // chosen cipher suite
+            body.push(0); // null compression
+        });
+    });
 }
 
 /// Build a Certificate record with an opaque certificate blob of
 /// `cert_len` bytes (certificates dominate handshake volume).
 pub fn certificate(cert_len: usize, fill: u8) -> Bytes {
-    let mut chain = BytesMut::new();
-    let mut one = BytesMut::new();
-    put_u24(&mut one, cert_len as u32);
-    one.put_bytes(fill, cert_len);
-    put_u24(&mut chain, one.len() as u32);
-    chain.put_slice(&one);
-    record(ContentType::Handshake, &handshake_msg(HandshakeType::Certificate, &chain))
+    let mut b = Vec::new();
+    certificate_into(&mut b, cert_len, fill);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`certificate`].
+pub fn certificate_into(buf: &mut Vec<u8>, cert_len: usize, fill: u8) {
+    record_into(buf, ContentType::Handshake, |b| {
+        handshake_msg_into(b, HandshakeType::Certificate, |chain| {
+            put_u24(chain, cert_len as u32 + 3); // chain length: one cert
+            put_u24(chain, cert_len as u32);
+            chain.resize(chain.len() + cert_len, fill);
+        });
+    });
 }
 
 /// Build a ServerHelloDone record.
 pub fn server_hello_done() -> Bytes {
-    record(ContentType::Handshake, &handshake_msg(HandshakeType::ServerHelloDone, &[]))
+    let mut b = Vec::new();
+    server_hello_done_into(&mut b);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`server_hello_done`].
+pub fn server_hello_done_into(buf: &mut Vec<u8>) {
+    record_into(buf, ContentType::Handshake, |b| {
+        handshake_msg_into(b, HandshakeType::ServerHelloDone, |_| {});
+    });
 }
 
 /// Build a ClientKeyExchange record with an opaque key blob.
 pub fn client_key_exchange(fill: u8) -> Bytes {
-    let mut body = BytesMut::new();
-    body.put_u8(32); // key length
-    body.put_bytes(fill, 32);
-    record(ContentType::Handshake, &handshake_msg(HandshakeType::ClientKeyExchange, &body))
+    let mut b = Vec::new();
+    client_key_exchange_into(&mut b, fill);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`client_key_exchange`].
+pub fn client_key_exchange_into(buf: &mut Vec<u8>, fill: u8) {
+    record_into(buf, ContentType::Handshake, |b| {
+        handshake_msg_into(b, HandshakeType::ClientKeyExchange, |body| {
+            body.push(32); // key length
+            body.resize(body.len() + 32, fill);
+        });
+    });
 }
 
 /// Build a ChangeCipherSpec record.
 pub fn change_cipher_spec() -> Bytes {
-    record(ContentType::ChangeCipherSpec, &[1])
+    let mut b = Vec::new();
+    change_cipher_spec_into(&mut b);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`change_cipher_spec`].
+pub fn change_cipher_spec_into(buf: &mut Vec<u8>) {
+    record_into(buf, ContentType::ChangeCipherSpec, |b| b.push(1));
 }
 
 /// Build an (encrypted, hence opaque) Finished record.
 pub fn finished(fill: u8) -> Bytes {
-    record(ContentType::Handshake, &[fill; 40])
+    let mut b = Vec::new();
+    finished_into(&mut b, fill);
+    Bytes::from(b)
+}
+
+/// Append-into twin of [`finished`].
+pub fn finished_into(buf: &mut Vec<u8>, fill: u8) {
+    record_into(buf, ContentType::Handshake, |b| b.resize(b.len() + 40, fill));
 }
 
 /// Build an ApplicationData record of `len` payload bytes.
 pub fn application_data(len: usize, fill: u8) -> Bytes {
-    let mut body = BytesMut::with_capacity(len);
-    body.put_bytes(fill, len);
-    record(ContentType::ApplicationData, &body)
+    let mut b = Vec::with_capacity(RECORD_HEADER_LEN + len);
+    record_into(&mut b, ContentType::ApplicationData, |body| body.resize(body.len() + len, fill));
+    Bytes::from(b)
 }
 
-fn handshake_msg(ty: HandshakeType, body: &[u8]) -> Bytes {
-    let mut b = BytesMut::with_capacity(4 + body.len());
-    b.put_u8(ty.to_u8());
-    put_u24(&mut b, body.len() as u32);
-    b.put_slice(body);
-    b.freeze()
+fn handshake_msg_into(buf: &mut Vec<u8>, ty: HandshakeType, f: impl FnOnce(&mut Vec<u8>)) {
+    buf.push(ty.to_u8());
+    let at = buf.len();
+    buf.extend_from_slice(&[0, 0, 0]);
+    f(buf);
+    let len = (buf.len() - at - 3) as u32;
+    debug_assert!(len < (1 << 24));
+    buf[at] = (len >> 16) as u8;
+    buf[at + 1] = (len >> 8) as u8;
+    buf[at + 2] = len as u8;
 }
 
-fn put_u24(b: &mut BytesMut, v: u32) {
+fn put_u24(b: &mut Vec<u8>, v: u32) {
     debug_assert!(v < (1 << 24));
-    b.put_u8((v >> 16) as u8);
-    b.put_u8((v >> 8) as u8);
-    b.put_u8(v as u8);
+    b.push((v >> 16) as u8);
+    b.push((v >> 8) as u8);
+    b.push(v as u8);
 }
 
 fn read_u24(buf: &[u8]) -> u32 {

@@ -105,6 +105,33 @@ impl SatelliteAccess {
         (beam.impairment + rain).min(0.95)
     }
 
+    /// Snapshot the RNG-free delay inputs for one flow: utilization,
+    /// channel impairment, bent-pipe propagation and PEP pressure are
+    /// pure functions of (beam, terminal, hour, t) — constant across
+    /// every packet of a flow, yet the per-call samplers recompute
+    /// them (two haversines and a rain-fade lookup each time). The
+    /// snapshot's [`uplink`](DelaySnapshot::uplink)/
+    /// [`downlink`](DelaySnapshot::downlink) draw from the RNG in
+    /// exactly the per-call order, so a flow simulated through a
+    /// snapshot consumes the same stream and emits the same bytes.
+    pub fn delay_snapshot<'a>(
+        &'a self,
+        beam: &'a Beam,
+        terminal: &Terminal,
+        local_hour: u32,
+        t: SimTime,
+    ) -> DelaySnapshot<'a> {
+        let utilization = self.utilization(beam, local_hour);
+        DelaySnapshot {
+            access: self,
+            beam,
+            utilization,
+            impairment: self.impairment_at(beam, t),
+            propagation: self.slot.bent_pipe_delay(terminal.location, self.gs_location),
+            pep_utilization: PepModel::effective_utilization(utilization, beam.pep_provisioning),
+        }
+    }
+
     /// One-way uplink delay (CPE → ground station) for one packet.
     pub fn uplink_delay(
         &self,
@@ -115,15 +142,7 @@ impl SatelliteAccess {
         t: SimTime,
         cold_start: bool,
     ) -> SimDuration {
-        metrics().uplink.inc();
-        let u = self.utilization(beam, local_hour);
-        let imp = self.impairment_at(beam, t);
-        let prop = self.slot.bent_pipe_delay(terminal.location, self.gs_location);
-        let mac = self.mac.uplink_delay(rng, u, cold_start);
-        let arq = self.link.arq_delay(rng, imp);
-        let pep_u = PepModel::effective_utilization(u, beam.pep_provisioning);
-        let pep = self.pep.forward_delay(rng, pep_u);
-        prop + mac + arq + pep + self.stall_delay_impaired(rng, beam, u, imp)
+        self.delay_snapshot(beam, terminal, local_hour, t).uplink(rng, cold_start)
     }
 
     /// One-way downlink delay (ground station → CPE) for one packet.
@@ -135,15 +154,7 @@ impl SatelliteAccess {
         local_hour: u32,
         t: SimTime,
     ) -> SimDuration {
-        metrics().downlink.inc();
-        let u = self.utilization(beam, local_hour);
-        let imp = self.impairment_at(beam, t);
-        let prop = self.slot.bent_pipe_delay(terminal.location, self.gs_location);
-        let mac = self.mac.downlink_delay(rng, u);
-        let arq = self.link.arq_delay(rng, imp);
-        let pep_u = PepModel::effective_utilization(u, beam.pep_provisioning);
-        let pep = self.pep.forward_delay(rng, pep_u);
-        prop + mac + arq + pep + self.stall_delay_impaired(rng, beam, u, imp)
+        self.delay_snapshot(beam, terminal, local_hour, t).downlink(rng)
     }
 
     /// A full satellite-segment RTT sample (down + up), as measured by
@@ -172,6 +183,48 @@ impl SatelliteAccess {
         let d = self.pep.setup_delay(rng, pep_u);
         metrics().pep_setup_us.record((d.as_nanos() / 1_000).max(0) as u64);
         d
+    }
+}
+
+/// Per-flow snapshot of the deterministic delay terms — see
+/// [`SatelliteAccess::delay_snapshot`]. Holds everything the
+/// per-packet samplers need except the RNG.
+pub struct DelaySnapshot<'a> {
+    access: &'a SatelliteAccess,
+    beam: &'a Beam,
+    utilization: f64,
+    impairment: f64,
+    propagation: SimDuration,
+    pep_utilization: f64,
+}
+
+impl DelaySnapshot<'_> {
+    /// Per-packet counterpart of [`SatelliteAccess::uplink_delay`]:
+    /// MAC access/queueing, ARQ recovery, PEP processing and the
+    /// heavy-tail stall draw, in that (RNG-visible) order.
+    pub fn uplink(&self, rng: &mut Rng, cold_start: bool) -> SimDuration {
+        metrics().uplink.inc();
+        let mac = self.access.mac.uplink_delay(rng, self.utilization, cold_start);
+        let arq = self.access.link.arq_delay(rng, self.impairment);
+        let pep = self.access.pep.forward_delay(rng, self.pep_utilization);
+        self.propagation
+            + mac
+            + arq
+            + pep
+            + self.access.stall_delay_impaired(rng, self.beam, self.utilization, self.impairment)
+    }
+
+    /// Per-packet counterpart of [`SatelliteAccess::downlink_delay`].
+    pub fn downlink(&self, rng: &mut Rng) -> SimDuration {
+        metrics().downlink.inc();
+        let mac = self.access.mac.downlink_delay(rng, self.utilization);
+        let arq = self.access.link.arq_delay(rng, self.impairment);
+        let pep = self.access.pep.forward_delay(rng, self.pep_utilization);
+        self.propagation
+            + mac
+            + arq
+            + pep
+            + self.access.stall_delay_impaired(rng, self.beam, self.utilization, self.impairment)
     }
 }
 

@@ -29,6 +29,10 @@ pub struct ScenarioConfig {
     /// inline probe, `0` = one per core. Output is byte-identical at
     /// any shard count.
     pub probe_shards: usize,
+    /// Hand packets to the probe in run-granular batches (the fast
+    /// path). `false` keeps the per-packet drive loop — the test
+    /// oracle the batch path is pinned byte-identical against.
+    pub packet_batching: bool,
 }
 
 impl ScenarioConfig {
@@ -43,6 +47,7 @@ impl ScenarioConfig {
             force_operator_dns: false,
             threads: 1,
             probe_shards: 1,
+            packet_batching: true,
         }
     }
 
@@ -97,6 +102,13 @@ impl ScenarioConfig {
         self.probe_shards = shards;
         self
     }
+
+    /// Toggle the run-granular batched packet path (`true` by
+    /// default; `false` drives the per-packet oracle).
+    pub fn with_packet_batching(mut self, on: bool) -> ScenarioConfig {
+        self.packet_batching = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +125,8 @@ mod tests {
             .with_african_ground_station()
             .with_forced_operator_dns()
             .with_threads(4)
-            .with_probe_shards(2);
+            .with_probe_shards(2)
+            .with_packet_batching(false);
         assert_eq!(c.seed, 1);
         assert_eq!(c.customers, 10);
         assert_eq!(c.days, 3);
@@ -122,6 +135,7 @@ mod tests {
         assert!(c.force_operator_dns);
         assert_eq!(c.threads, 4);
         assert_eq!(c.probe_shards, 2);
+        assert!(!c.packet_batching);
     }
 
     #[test]

@@ -48,10 +48,13 @@ const MAX_CHUNKS: usize = 48;
 /// short-term rate, which only sharpens throughput estimates).
 const MAX_FLOW_DURATION: SimDuration = SimDuration::from_secs(1200);
 
-/// One zero-filled buffer shared by every bulk payload (refcounted).
+/// One zero-filled buffer shared by every bulk payload. Leaked into a
+/// `'static` slice so every clone/slice is a plain pointer copy with
+/// no refcount traffic — bulk chunks are by far the most-cloned
+/// payloads in a run (one 64 MB block for the process lifetime).
 fn bulk_buffer() -> Bytes {
     static BUF: std::sync::OnceLock<Bytes> = std::sync::OnceLock::new();
-    BUF.get_or_init(|| Bytes::from(vec![0u8; MAX_CHUNK as usize])).clone()
+    BUF.get_or_init(|| Bytes::from_static(Box::leak(vec![0u8; MAX_CHUNK as usize].into_boxed_slice()))).clone()
 }
 
 /// Split `total` into at most `MAX_CHUNKS` chunks: medium flows get
@@ -75,15 +78,25 @@ struct FlowBuilder<'a> {
     cseq: SeqNum,
     sseq: SeqNum,
     out: &'a mut Vec<(SimTime, Packet)>,
+    /// One flow's payload bytes land in this shared per-run arena.
+    /// Packets are pushed with deferred (empty) payloads plus an
+    /// offset-pair patch entry; [`FlowBuilder::finish`] freezes the
+    /// arena block once and resolves every patch to a zero-copy slice.
+    arena: &'a mut satwatch_simcore::PayloadArena,
+    patches: Vec<(usize, usize, usize)>,
 }
 
 impl<'a> FlowBuilder<'a> {
-    fn tcp(&mut self, t: SimTime, c2s: bool, flags: TcpFlags, payload: Bytes) {
-        let (src, dst, sp, dp) = if c2s {
+    fn endpoints(&self, c2s: bool) -> (Ipv4Addr, Ipv4Addr, u16, u16) {
+        if c2s {
             (self.client, self.server, self.client_port, self.server_port)
         } else {
             (self.server, self.client, self.server_port, self.client_port)
-        };
+        }
+    }
+
+    fn tcp_header(&mut self, c2s: bool, flags: TcpFlags, payload_len: usize) -> TcpHeader {
+        let (_, _, sp, dp) = self.endpoints(c2s);
         let mut h = TcpHeader::new(sp, dp, flags);
         if flags.syn() {
             // realistic option set on SYN/SYN-ACK, as real stacks send
@@ -93,7 +106,7 @@ impl<'a> FlowBuilder<'a> {
                 satwatch_netstack::TcpOption::WindowScale(7),
             ];
         }
-        let adv = payload.len() as u32 + u32::from(flags.syn()) + u32::from(flags.fin());
+        let adv = payload_len as u32 + u32::from(flags.syn()) + u32::from(flags.fin());
         if c2s {
             h.seq = self.cseq;
             h.ack = self.sseq;
@@ -103,16 +116,67 @@ impl<'a> FlowBuilder<'a> {
             h.ack = self.cseq;
             self.sseq = self.sseq + adv;
         }
+        h
+    }
+
+    /// Shared-buffer payloads (bulk zeros) and control packets: the
+    /// payload already is a cheap `Bytes`, no arena involved.
+    fn tcp(&mut self, t: SimTime, c2s: bool, flags: TcpFlags, payload: Bytes) {
+        let (src, dst, _, _) = self.endpoints(c2s);
+        let h = self.tcp_header(c2s, flags, payload.len());
         self.out.push((t, Packet::tcp(src, dst, h, payload)));
     }
 
+    /// Arena path: `w` appends the payload bytes in place.
+    fn tcp_w(&mut self, t: SimTime, c2s: bool, flags: TcpFlags, w: impl FnOnce(&mut Vec<u8>)) {
+        let (s, e) = self.arena.write(w);
+        let (src, dst, _, _) = self.endpoints(c2s);
+        let h = self.tcp_header(c2s, flags, e - s);
+        self.out.push((t, Packet::tcp_deferred(src, dst, h, e - s)));
+        if e > s {
+            self.patches.push((self.out.len() - 1, s, e));
+        }
+    }
+
     fn udp(&mut self, t: SimTime, c2s: bool, payload: Bytes) {
-        let (src, dst, sp, dp) = if c2s {
-            (self.client, self.server, self.client_port, self.server_port)
-        } else {
-            (self.server, self.client, self.server_port, self.client_port)
-        };
+        let (src, dst, sp, dp) = self.endpoints(c2s);
         self.out.push((t, Packet::udp(src, dst, sp, dp, payload)));
+    }
+
+    /// Arena path for UDP on the flow's own 5-tuple.
+    fn udp_w(&mut self, t: SimTime, c2s: bool, w: impl FnOnce(&mut Vec<u8>)) {
+        let (s, e) = self.arena.write(w);
+        self.udp_at(t, c2s, s, e);
+    }
+
+    /// Arena path with explicit offsets: used by the RTP overlap
+    /// layout, where consecutive packets share one header block and
+    /// their payload slices intentionally overlap.
+    fn udp_at(&mut self, t: SimTime, c2s: bool, s: usize, e: usize) {
+        let (src, dst, sp, dp) = self.endpoints(c2s);
+        self.out.push((t, Packet::udp_deferred(src, dst, sp, dp, e - s)));
+        if e > s {
+            self.patches.push((self.out.len() - 1, s, e));
+        }
+    }
+
+    /// Arena path with explicit endpoints (the DNS transaction talks
+    /// to the resolver, not the flow's server).
+    fn udp_raw_w(&mut self, t: SimTime, src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16, w: impl FnOnce(&mut Vec<u8>)) {
+        let (s, e) = self.arena.write(w);
+        self.out.push((t, Packet::udp_deferred(src, dst, sp, dp, e - s)));
+        if e > s {
+            self.patches.push((self.out.len() - 1, s, e));
+        }
+    }
+
+    /// Freeze the flow's arena block and resolve every deferred
+    /// payload to a zero-copy slice of it.
+    fn finish(self) {
+        let frozen = Bytes::from(self.arena.take());
+        for (idx, s, e) in self.patches {
+            self.out[idx].1.payload = frozen.slice(s..e);
+        }
     }
 }
 
@@ -169,7 +233,10 @@ impl NetModel {
     }
 
     /// Simulate one flow; packets are appended to `out` (unsorted
-    /// relative to other flows; the caller merges).
+    /// relative to other flows; the caller merges). All payload bytes
+    /// are bump-allocated in `arena` and frozen into one `Bytes` block
+    /// per flow — the arena is drained (`take`) before returning.
+    #[allow(clippy::too_many_arguments)]
     pub fn simulate_flow(
         &self,
         intent: &FlowIntent,
@@ -177,14 +244,19 @@ impl NetModel {
         catalog: &[ServiceSpec],
         beam: &Beam,
         rng: &mut Rng,
+        arena: &mut satwatch_simcore::PayloadArena,
         out: &mut Vec<(SimTime, Packet)>,
     ) {
         let svc = &catalog[intent.service.0 as usize];
         let terminal = &customer.terminal;
         let hour = intent.start.local_hour(customer.country.tz_offset());
         let t_flow = intent.start;
-        let up = |rng: &mut Rng, cold: bool| self.access.uplink_delay(rng, beam, terminal, hour, t_flow, cold);
-        let down = |rng: &mut Rng| self.access.downlink_delay(rng, beam, terminal, hour, t_flow);
+        // One snapshot of the RNG-free delay terms for the whole flow:
+        // identical draws, minus two haversines + a rain-fade lookup
+        // per packet (see `SatelliteAccess::delay_snapshot`).
+        let delays = self.access.delay_snapshot(beam, terminal, hour, t_flow);
+        let up = |rng: &mut Rng, cold: bool| delays.uplink(rng, cold);
+        let down = |rng: &mut Rng| delays.downlink(rng);
 
         // --- resolution chain: hint → serving region → server addr ---
         let hint = intent.resolver.hint_region(rng, customer.country.home_region());
@@ -214,6 +286,8 @@ impl NetModel {
             cseq: SeqNum(rng.next_u32()),
             sseq: SeqNum(rng.next_u32()),
             out,
+            arena,
+            patches: Vec::new(),
         };
 
         // --- DNS transaction (UDP, PEP bypass) ---
@@ -226,10 +300,10 @@ impl NetModel {
             let query = dns::DnsMessage::query(qid, &intent.domain, dns::RecordType::A);
             let t_q = intent.start + up(rng, true);
             cold_used = true;
-            fb.out.push((t_q, Packet::udp(terminal.address, resolver_addr, dns_port, 53, query.encode())));
+            fb.udp_raw_w(t_q, terminal.address, resolver_addr, dns_port, 53, |b| query.encode_into(b));
             let t_r = t_q + intent.resolver.sample_response_time(rng);
             let response = dns::DnsMessage::answer_a(&query, &[server], 300);
-            fb.out.push((t_r, Packet::udp(resolver_addr, terminal.address, 53, dns_port, response.encode())));
+            fb.udp_raw_w(t_r, resolver_addr, terminal.address, 53, dns_port, |b| response.encode_into(b));
             t_client_ready = t_r + down(rng);
         }
 
@@ -270,6 +344,7 @@ impl NetModel {
                 self.simulate_udp_stream(intent, t_client_ready, cold_used, rng, &mut fb, up, down);
             }
         }
+        fb.finish();
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -318,29 +393,31 @@ impl NetModel {
                     // round, then the CH crosses again
                     t_synack + down(rng) + up(rng, false)
                 };
-                let ch = tls::client_hello(&intent.domain, rand_bytes32(rng));
-                fb.tcp(t_ch, true, TcpFlags::PSH_ACK, ch);
+                let ch_random = rand_bytes32(rng);
+                fb.tcp_w(t_ch, true, TcpFlags::PSH_ACK, |b| tls::client_hello_into(b, &intent.domain, ch_random));
                 // server flight
                 let t_sh = t_ch.max(t_synack) + g() + SimDuration::from_millis_f64(rng.range_f64(0.5, 4.0));
-                fb.tcp(t_sh, false, TcpFlags::PSH_ACK, tls::server_hello(rand_bytes32(rng)));
-                let mut flight = Vec::new();
-                flight.extend_from_slice(&tls::certificate(2400 + rng.below(1200) as usize, 0x43));
-                flight.extend_from_slice(&tls::server_hello_done());
-                fb.tcp(t_sh + eps, false, TcpFlags::PSH_ACK, Bytes::from(flight));
+                let sh_random = rand_bytes32(rng);
+                fb.tcp_w(t_sh, false, TcpFlags::PSH_ACK, |b| tls::server_hello_into(b, sh_random));
+                let cert_len = 2400 + rng.below(1200) as usize;
+                fb.tcp_w(t_sh + eps, false, TcpFlags::PSH_ACK, |b| {
+                    tls::certificate_into(b, cert_len, 0x43);
+                    tls::server_hello_done_into(b);
+                });
                 // ClientKeyExchange returns after one full satellite
                 // round trip (+ home) — the monitor's satellite RTT.
                 let t_cke = t_sh + down(rng) + customer.terminal.home_rtt_sample(rng) + up(rng, false);
-                let mut reply = Vec::new();
-                reply.extend_from_slice(&tls::client_key_exchange(0x6b));
-                reply.extend_from_slice(&tls::change_cipher_spec());
-                reply.extend_from_slice(&tls::finished(0x0f));
-                fb.tcp(t_cke, true, TcpFlags::PSH_ACK, Bytes::from(reply));
+                fb.tcp_w(t_cke, true, TcpFlags::PSH_ACK, |b| {
+                    tls::client_key_exchange_into(b, 0x6b);
+                    tls::change_cipher_spec_into(b);
+                    tls::finished_into(b, 0x0f);
+                });
                 // server CCS+Finished
                 let t_srv_fin = t_cke + g();
-                let mut srv = Vec::new();
-                srv.extend_from_slice(&tls::change_cipher_spec());
-                srv.extend_from_slice(&tls::finished(0x0e));
-                fb.tcp(t_srv_fin, false, TcpFlags::PSH_ACK, Bytes::from(srv));
+                fb.tcp_w(t_srv_fin, false, TcpFlags::PSH_ACK, |b| {
+                    tls::change_cipher_spec_into(b);
+                    tls::finished_into(b, 0x0e);
+                });
                 t_data_start = t_srv_fin + eps;
             }
             FlowProtocol::Http => {
@@ -348,14 +425,13 @@ impl NetModel {
                 // right after the ground handshake
                 let t_get = if self.pep_enabled { t_synack + eps + eps } else { t_synack + down(rng) + up(rng, false) };
                 let path = format!("/content/{}", rng.below(1_000_000));
-                fb.tcp(t_get, true, TcpFlags::PSH_ACK, http::get_request(&intent.domain, &path, "satwatch-ua/1.0"));
+                fb.tcp_w(t_get, true, TcpFlags::PSH_ACK, |b| {
+                    http::get_request_into(b, &intent.domain, &path, "satwatch-ua/1.0")
+                });
                 let t_head = t_get + g() + SimDuration::from_millis_f64(rng.range_f64(0.5, 5.0));
-                fb.tcp(
-                    t_head,
-                    false,
-                    TcpFlags::PSH_ACK,
-                    http::ok_response(intent.down_bytes, "application/octet-stream"),
-                );
+                fb.tcp_w(t_head, false, TcpFlags::PSH_ACK, |b| {
+                    http::ok_response_into(b, intent.down_bytes, "application/octet-stream")
+                });
                 t_data_start = t_head + eps;
             }
             _ => {
@@ -365,7 +441,7 @@ impl NetModel {
                 // first paced data chunk would close the sample
                 // seconds later and pollute the ground RTT)
                 let t_blob = t_synack + eps + eps;
-                fb.tcp(t_blob, true, TcpFlags::PSH_ACK, Bytes::from(vec![0xd5; 48]));
+                fb.tcp_w(t_blob, true, TcpFlags::PSH_ACK, |b| b.resize(b.len() + 48, 0xd5));
                 let t_blob_ack = t_blob + g();
                 fb.tcp(t_blob_ack, false, TcpFlags::ACK, Bytes::new());
                 t_data_start = t_blob_ack + eps;
@@ -437,14 +513,15 @@ impl NetModel {
         let dcid: Vec<u8> = (0..8).map(|_| rng.next_u32() as u8).collect();
         let scid: Vec<u8> = (0..5).map(|_| rng.next_u32() as u8).collect();
         let t_init = t_ready + up(rng, !cold_used);
-        fb.udp(t_init, true, quic::initial_with_sni(&dcid, &scid, &intent.domain, rand_bytes32(rng)));
+        let init_random = rand_bytes32(rng);
+        fb.udp_w(t_init, true, |b| quic::initial_with_sni_into(b, &dcid, &scid, &intent.domain, init_random));
         // server handshake flight
         let t_hs = t_init + g();
-        fb.udp(t_hs, false, quic::short_packet(&scid, 1200, 0x71));
-        fb.udp(t_hs + SimDuration::from_micros(200), false, quic::short_packet(&scid, 1200, 0x72));
+        fb.udp_w(t_hs, false, |b| quic::short_packet_into(b, &scid, 1200, 0x71));
+        fb.udp_w(t_hs + SimDuration::from_micros(200), false, |b| quic::short_packet_into(b, &scid, 1200, 0x72));
         // client finishes after a satellite round trip
         let t_fin = t_hs + down(rng) + customer.terminal.home_rtt_sample(rng) + up(rng, false);
-        fb.udp(t_fin, true, quic::short_packet(&dcid, 80, 0x73));
+        fb.udp_w(t_fin, true, |b| quic::short_packet_into(b, &dcid, 80, 0x73));
         // data: end-to-end congestion control over the long path is
         // less efficient than the split connection (§2.1 footnote 3)
         let rate = self.down_rate(svc.category, customer, beam, hour, rng).mul_f64(0.72);
@@ -493,21 +570,48 @@ impl NetModel {
         let ssrc = rng.next_u32();
         let chunk_c2s = (intent.up_bytes / n_each as u64).clamp(60, MAX_CHUNK);
         let chunk_s2c = (intent.down_bytes / n_each as u64).clamp(60, MAX_CHUNK);
-        let buf = bulk_buffer();
-        for i in 0..n_each {
-            let t = t0 + (duration / n_each as i64) * (i as i64 + 1);
-            if is_rtp {
-                let hdr = rtp::RtpHeader {
-                    payload_type: 111,
-                    sequence: i as u16,
-                    timestamp: (i as u32) * 960,
-                    ssrc,
-                    marker: i == 0,
-                };
-                fb.udp(t, true, hdr.encode(chunk_c2s as usize - rtp::RTP_HEADER_LEN.min(chunk_c2s as usize), 0));
-                let hdr2 = rtp::RtpHeader { ssrc: ssrc ^ 1, ..hdr };
-                fb.udp(t + SimDuration::from_millis(3), false, hdr2.encode(chunk_s2c as usize, 0));
-            } else {
+        if is_rtp {
+            // Overlap layout: one arena region holds all 2×n_each RTP
+            // headers at a 24-byte stride, followed by a single zero
+            // tail long enough for the largest payload. Packet i's
+            // payload slice starts at its own header and runs over the
+            // *later* headers and into the zeros — legal because
+            // nothing downstream reads RTP payload bytes past the
+            // 12-byte header (the DPI heuristic inspects exactly
+            // `payload[0..12]`; byte counters use lengths only). This
+            // turns n_each memsets of media-sized buffers into one
+            // shared tail per flow.
+            let len_c2s = rtp::RTP_HEADER_LEN + chunk_c2s as usize - rtp::RTP_HEADER_LEN.min(chunk_c2s as usize);
+            let len_s2c = rtp::RTP_HEADER_LEN + chunk_s2c as usize;
+            let stride = 2 * rtp::RTP_HEADER_LEN;
+            let region = stride * (n_each - 1) + len_c2s.max(rtp::RTP_HEADER_LEN + len_s2c);
+            let (start, _) = fb.arena.write(|b| {
+                for i in 0..n_each {
+                    let hdr = rtp::RtpHeader {
+                        payload_type: 111,
+                        sequence: i as u16,
+                        timestamp: (i as u32) * 960,
+                        ssrc,
+                        marker: i == 0,
+                    };
+                    b.extend_from_slice(&hdr.header_bytes());
+                    let hdr2 = rtp::RtpHeader { ssrc: ssrc ^ 1, ..hdr };
+                    b.extend_from_slice(&hdr2.header_bytes());
+                }
+                let base = b.len() - stride * n_each;
+                b.resize(base + region, 0);
+            });
+            for i in 0..n_each {
+                let t = t0 + (duration / n_each as i64) * (i as i64 + 1);
+                let at = start + stride * i;
+                fb.udp_at(t, true, at, at + len_c2s);
+                let at2 = at + rtp::RTP_HEADER_LEN;
+                fb.udp_at(t + SimDuration::from_millis(3), false, at2, at2 + len_s2c);
+            }
+        } else {
+            let buf = bulk_buffer();
+            for i in 0..n_each {
+                let t = t0 + (duration / n_each as i64) * (i as i64 + 1);
                 fb.udp(t, true, buf.slice(0..chunk_c2s as usize));
                 fb.udp(t + SimDuration::from_millis(5), false, buf.slice(0..chunk_s2c as usize));
             }
@@ -570,8 +674,9 @@ mod tests {
         };
         let m = model(true);
         let mut rng = Rng::new(seed);
+        let mut arena = satwatch_simcore::PayloadArena::new();
         let mut out = Vec::new();
-        m.simulate_flow(&intent, customer, &catalog, pop.beam(customer.terminal.beam), &mut rng, &mut out);
+        m.simulate_flow(&intent, customer, &catalog, pop.beam(customer.terminal.beam), &mut rng, &mut arena, &mut out);
         out
     }
 
@@ -688,8 +793,17 @@ mod tests {
             let mut total = 0.0;
             for seed in 0..40 {
                 let mut rng = Rng::new(seed);
+                let mut arena = satwatch_simcore::PayloadArena::new();
                 let mut out = Vec::new();
-                m.simulate_flow(&intent, customer, &catalog, pop.beam(customer.terminal.beam), &mut rng, &mut out);
+                m.simulate_flow(
+                    &intent,
+                    customer,
+                    &catalog,
+                    pop.beam(customer.terminal.beam),
+                    &mut rng,
+                    &mut arena,
+                    &mut out,
+                );
                 out.sort_by_key(|(t, _)| *t);
                 // first s2c data packet ≥ 1 kB = first media byte
                 let first = out

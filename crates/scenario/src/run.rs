@@ -164,6 +164,10 @@ fn drive(cfg: ScenarioConfig, sim: &SimSetup, probe: &mut ShardedProbe, mut tap:
     // DESIGN.md "Run-merge scheduler" — while moving no `Packet` and
     // recycling every run buffer.
     let mut merge: RunMerge<Packet> = RunMerge::new();
+    // Payload bytes for each flow's packets are bump-allocated here
+    // and frozen into one refcounted block per flow; the arena's
+    // capacity hint keeps the steady state at one allocation per flow.
+    let mut arena = satwatch_simcore::PayloadArena::new();
     export_beam_gauges(population);
     let m = metrics();
     for day in 0..cfg.days {
@@ -195,48 +199,97 @@ fn drive(cfg: ScenarioConfig, sim: &SimSetup, probe: &mut ShardedProbe, mut tap:
         }
         let horizon = SimTime::from_secs((day + 1) * satwatch_simcore::time::SECS_PER_DAY + 3_600);
         let mut flow_rng = seeds.rng_idx("flows", day);
-        loop {
-            let ti = intents.peek_time();
-            let tp = merge.peek();
-            // Intents win time ties: in the single-heap formulation all
-            // StartFlow events were scheduled before any packet, so
-            // their sequence numbers were strictly smaller.
-            let start_flow = match (ti, tp) {
-                (Some(ti), Some(tp)) => ti <= tp,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            if start_flow {
-                let (t, intent) = intents.pop().expect("peeked intent vanished");
-                if t > horizon {
-                    break;
+        if cfg.packet_batching {
+            // Batched drive: every iteration first drains, in whole-run
+            // slices, all packets that must precede the next intent —
+            // intents win time ties, so the inclusive drain bound is
+            // `ti − 1 ns` (no packet exists strictly before t = 0) —
+            // then starts that flow. With no intent left (or the next
+            // one past the horizon) the bound is the horizon itself.
+            // Slice order is pinned identical to the per-packet loop
+            // below by `RunMerge::next_run_upto`'s contract.
+            loop {
+                let ti = intents.peek_time();
+                let upto = match ti {
+                    Some(ti) if ti <= horizon => (ti != SimTime::ZERO).then(|| SimTime::from_nanos(ti.as_nanos() - 1)),
+                    _ => Some(horizon),
+                };
+                if let Some(upto) = upto {
+                    while let Some(n) = merge.next_run_upto(upto, |batch| {
+                        for (t, pkt) in batch {
+                            tap(*t, pkt);
+                        }
+                        probe.observe_batch(batch);
+                        batch.len() as u64
+                    }) {
+                        m.packets.add(n);
+                    }
                 }
-                let customer = &population.customers[intent.customer_index];
-                let beam = population.beam(customer.terminal.beam);
-                m.flows.inc();
-                let mut run = merge.take_buffer();
-                model.simulate_flow(&intent, customer, catalog, beam, &mut flow_rng, &mut run);
-                // The builder may interleave directions out of time
-                // order and emit pre-start timestamps the heap used to
-                // clamp; normalise, then stable-sort so equal-time
-                // packets keep emission (= old sequence) order.
-                for p in &mut run {
-                    p.0 = p.0.max(t);
+                match ti {
+                    Some(ti) if ti <= horizon => {
+                        let (t, intent) = intents.pop().expect("peeked intent vanished");
+                        debug_assert_eq!(t, ti);
+                        let customer = &population.customers[intent.customer_index];
+                        let beam = population.beam(customer.terminal.beam);
+                        m.flows.inc();
+                        let mut run = merge.take_buffer();
+                        model.simulate_flow(&intent, customer, catalog, beam, &mut flow_rng, &mut arena, &mut run);
+                        // The builder may interleave directions out of
+                        // time order and emit pre-start timestamps the
+                        // heap used to clamp; normalise, then
+                        // stable-sort so equal-time packets keep
+                        // emission (= old sequence) order.
+                        for p in &mut run {
+                            p.0 = p.0.max(t);
+                        }
+                        run.sort_by_key(|&(pt, _)| pt);
+                        merge.push(run);
+                    }
+                    _ => break,
                 }
-                run.sort_by_key(|&(pt, _)| pt);
-                merge.push(run);
-            } else {
-                if tp.expect("merge peeked empty") > horizon {
-                    break;
+            }
+        } else {
+            // Per-packet oracle loop: the reference semantics the batch
+            // path above is tested byte-identical against.
+            loop {
+                let ti = intents.peek_time();
+                let tp = merge.peek();
+                // Intents win time ties: in the single-heap formulation
+                // all StartFlow events were scheduled before any packet,
+                // so their sequence numbers were strictly smaller.
+                let start_flow = match (ti, tp) {
+                    (Some(ti), Some(tp)) => ti <= tp,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if start_flow {
+                    let (t, intent) = intents.pop().expect("peeked intent vanished");
+                    if t > horizon {
+                        break;
+                    }
+                    let customer = &population.customers[intent.customer_index];
+                    let beam = population.beam(customer.terminal.beam);
+                    m.flows.inc();
+                    let mut run = merge.take_buffer();
+                    model.simulate_flow(&intent, customer, catalog, beam, &mut flow_rng, &mut arena, &mut run);
+                    for p in &mut run {
+                        p.0 = p.0.max(t);
+                    }
+                    run.sort_by_key(|&(pt, _)| pt);
+                    merge.push(run);
+                } else {
+                    if tp.expect("merge peeked empty") > horizon {
+                        break;
+                    }
+                    m.packets.inc();
+                    merge
+                        .pop_with(|t, pkt| {
+                            tap(t, pkt);
+                            probe.observe(t, pkt);
+                        })
+                        .expect("peeked packet vanished");
                 }
-                m.packets.inc();
-                merge
-                    .pop_with(|t, pkt| {
-                        tap(t, pkt);
-                        probe.observe(t, pkt);
-                    })
-                    .expect("peeked packet vanished");
             }
         }
         // Truncate the post-horizon tail, keeping the buffers.

@@ -1,0 +1,38 @@
+//! Property test for the run-granular batched hot path (DESIGN.md
+//! "Run-granular batching"): for any small scenario, driving the probe
+//! with run-sized batches must be byte-equivalent to the per-packet
+//! oracle path — same flow records, same DNS records, same dataset
+//! digest — and the equivalence must survive probe sharding, where
+//! batches are additionally split at host-pair boundaries.
+//!
+//! Drives the proptest strategies by hand instead of through the
+//! `proptest!` macro: each case runs two day-long scenarios, so the
+//! default 64-case budget would dominate the whole suite's wall time.
+//! The case count is capped; `PROPTEST_CASES` still lowers it further.
+
+use proptest::prelude::*;
+use proptest::test_runner;
+use satwatch_scenario::{dataset_digest, run, ScenarioConfig};
+
+#[test]
+fn batched_drive_matches_per_packet_oracle() {
+    let seed0 = test_runner::seed_for("batched_drive_matches_per_packet_oracle");
+    let cases = test_runner::cases().min(10);
+    for case in 0..cases {
+        let mut rng = TestRng::new(seed0 ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = (0u64..1_000_000).sample(&mut rng);
+        let customers = (2u32..7).sample(&mut rng);
+        let shards = prop_oneof![Just(1usize), Just(4)].sample(&mut rng);
+
+        let base = ScenarioConfig::tiny().with_customers(customers).with_seed(seed).with_probe_shards(shards);
+        let batched = run(base.with_packet_batching(true));
+        let oracle = run(base.with_packet_batching(false));
+
+        let ctx = format!("case {case}: seed={seed} customers={customers} shards={shards}");
+        assert!(batched.packets > 0, "{ctx}: scenario produced no traffic");
+        assert_eq!(batched.packets, oracle.packets, "{ctx}: packet counts diverge");
+        assert_eq!(batched.flows, oracle.flows, "{ctx}: flow records diverge");
+        assert_eq!(batched.dns, oracle.dns, "{ctx}: dns records diverge");
+        assert_eq!(dataset_digest(&batched), dataset_digest(&oracle), "{ctx}: dataset digests diverge");
+    }
+}

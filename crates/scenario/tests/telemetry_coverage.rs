@@ -34,6 +34,15 @@ fn snapshot_covers_every_pipeline_layer() {
     // monitor layer (probe counts packets; the sharded dispatcher adds
     // per-shard labelled series)
     assert!(counter("monitor_packets_total") >= ds.packets);
+    // run-granular hot path: the probe consumed its packets in batches.
+    // Both instruments tick together in `process_batch`, and the
+    // histogram's sum is bounded by the total packet count (the rare
+    // sweep-straddling batch replays per packet, outside the histogram).
+    let batches = counter("monitor_probe_batches_total");
+    assert!(batches > 0, "batched drive is the default path");
+    let batch_len = snap.histogram("monitor_probe_batch_len").expect("batch-length histogram registered");
+    assert_eq!(batch_len.count, batches, "one length sample per batch");
+    assert!(batch_len.sum > 0 && batch_len.sum <= counter("monitor_packets_total"));
     let shard_series: u64 = (0..2)
         .map(|s| {
             snap.counter(&satwatch_telemetry::labelled("monitor_shard_packets_total", &[("shard", &s.to_string())]))

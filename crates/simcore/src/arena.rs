@@ -1,0 +1,109 @@
+//! Per-run payload arena: one contiguous byte block per packet run.
+//!
+//! The flow synthesizer used to allocate every packet payload as its
+//! own `Vec<u8>` — for a 300k-packet day that is hundreds of
+//! thousands of small allocations and as many refcounted frees. The
+//! arena replaces them with one block per *run* (one flow's packets):
+//! builders append payload bytes to the arena's `Vec<u8>` and get
+//! back `(start, end)` offsets; once the run is complete the caller
+//! takes the block, freezes it into whatever shared-buffer type it
+//! uses (`bytes::Bytes` in the scenario crate — simcore stays
+//! dependency-free), and resolves each offset pair to a zero-copy
+//! slice of the frozen block.
+//!
+//! # Lifetime rules
+//!
+//! * One arena serves one run at a time: `write` calls between two
+//!   `take` calls all land in the same block.
+//! * `take` hands the block out by value; the arena immediately
+//!   starts a fresh block. Freezing into a refcounted buffer makes
+//!   the allocation unrecoverable (the refcount may outlive the run),
+//!   so the arena cannot pool freed blocks. Instead it remembers a
+//!   high-water *capacity hint* (capped, so one pathological run
+//!   cannot pin megabytes) and pre-sizes the next block to it — the
+//!   steady state is exactly one right-sized allocation per run.
+//! * Offsets returned by `write` are only meaningful against the
+//!   block returned by the *next* `take`.
+
+/// Cap on the remembered capacity hint. Runs larger than this still
+/// work (the block grows geometrically); the cap only stops a single
+/// huge media run from inflating every later run's allocation.
+const HINT_CAP: usize = 1 << 20;
+
+/// A bump arena for one packet run's payload bytes.
+#[derive(Default)]
+pub struct PayloadArena {
+    buf: Vec<u8>,
+    hint: usize,
+}
+
+impl PayloadArena {
+    pub fn new() -> PayloadArena {
+        PayloadArena::default()
+    }
+
+    /// Bytes written to the current block so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one payload to the current block via `f` (which may use
+    /// any `Vec<u8>`/`BufMut` writer API) and return its
+    /// `(start, end)` offsets within the block.
+    pub fn write(&mut self, f: impl FnOnce(&mut Vec<u8>)) -> (usize, usize) {
+        if self.buf.capacity() == 0 && self.hint != 0 {
+            self.buf.reserve(self.hint);
+        }
+        let start = self.buf.len();
+        f(&mut self.buf);
+        (start, self.buf.len())
+    }
+
+    /// Finish the current block: hand it out by value and start a
+    /// fresh one pre-sized to the (capped) high-water hint.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.hint = self.hint.max(self.buf.len()).min(HINT_CAP);
+        std::mem::take(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_index_the_taken_block() {
+        let mut a = PayloadArena::new();
+        let (s1, e1) = a.write(|v| v.extend_from_slice(b"hello"));
+        let (s2, e2) = a.write(|v| v.extend_from_slice(b"world!"));
+        assert_eq!((s1, e1), (0, 5));
+        assert_eq!((s2, e2), (5, 11));
+        let block = a.take();
+        assert_eq!(&block[s1..e1], b"hello");
+        assert_eq!(&block[s2..e2], b"world!");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn next_block_is_presized_to_high_water() {
+        let mut a = PayloadArena::new();
+        a.write(|v| v.extend_from_slice(&[0u8; 300]));
+        let _ = a.take();
+        // fresh block, but capacity is pre-reserved on first write
+        assert_eq!(a.len(), 0);
+        a.write(|v| v.push(1));
+        assert!(a.buf.capacity() >= 300);
+    }
+
+    #[test]
+    fn hint_is_capped() {
+        let mut a = PayloadArena::new();
+        a.write(|v| v.resize(HINT_CAP + 123, 0));
+        let _ = a.take();
+        assert_eq!(a.hint, HINT_CAP);
+    }
+}

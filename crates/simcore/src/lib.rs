@@ -9,6 +9,8 @@
 //! * [`event`] — a deterministic event queue with stable tie-breaking.
 //! * [`merge`] — tournament-tree k-way merge over presorted runs, the
 //!   packet scheduler behind the scenario's span port.
+//! * [`arena`] — per-run payload bump arena: one contiguous byte
+//!   block per packet run instead of one allocation per payload.
 //! * [`rng`] — reproducible xoshiro256** PRNG with hierarchical seed
 //!   derivation, so subsystems have independent streams.
 //! * [`dist`] — the random distributions the workload and channel
@@ -48,6 +50,7 @@
 //! assert_ne!(a.next_u64(), b.next_u64());
 //! ```
 
+pub mod arena;
 pub mod dist;
 pub mod event;
 pub mod fxhash;
@@ -58,6 +61,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use arena::PayloadArena;
 pub use event::EventQueue;
 pub use fxhash::{fx_hash_one, fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet};
 pub use merge::RunMerge;

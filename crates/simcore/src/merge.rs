@@ -172,6 +172,67 @@ impl<T> RunMerge<T> {
         Some(out)
     }
 
+    /// Drain a contiguous batch of the winning run, passing it to `f`
+    /// as one slice. The batch covers every item of that run at time
+    /// `<= upto` that is guaranteed to sort before (or, by the run-id
+    /// tie rule, at) every other run's head — i.e. exactly the items
+    /// [`pop_with`](Self::pop_with) would yield consecutively from
+    /// this run before switching runs. Genuinely interleaved runs
+    /// degrade to length-1 batches, so batch draining is always
+    /// order-identical to per-item popping.
+    ///
+    /// Returns `None` when the merge is empty or its head is after
+    /// `upto`.
+    pub fn next_run_upto<R>(&mut self, upto: SimTime, f: impl FnOnce(&[(SimTime, T)]) -> R) -> Option<R> {
+        let slot = self.tree[1];
+        let (t0, run_id) = self.slots[slot].key();
+        if t0 == SimTime::MAX || t0 > upto {
+            return None;
+        }
+        // Second-best key among all *other* runs: the minimum over the
+        // sibling subtrees on the winner's leaf-to-root path. O(log k).
+        let k = self.slots.len();
+        let mut contender = EXHAUSTED;
+        let mut node = slot + k;
+        while node > 1 {
+            let key = self.slots[self.winner_at(node ^ 1)].key();
+            if key < contender {
+                contender = key;
+            }
+            node /= 2;
+        }
+        // Inclusive emission limit. A head-time tie with the contender
+        // goes to the lower run_id, so the winner may emit *through*
+        // the contender's head time iff its run_id is lower. In the
+        // other branch `t0 < contender.0` strictly (the winner's key is
+        // the minimum and equal keys are impossible), so the -1 ns
+        // cannot underflow below `t0`.
+        let limit = if contender == EXHAUSTED {
+            upto
+        } else if run_id < contender.1 {
+            upto.min(contender.0)
+        } else {
+            upto.min(SimTime::from_nanos(contender.0.as_nanos() - 1))
+        };
+        let s = &mut self.slots[slot];
+        let mut end = s.pos + 1;
+        while end < s.items.len() && s.items[end].0 <= limit {
+            end += 1;
+        }
+        let out = f(&s.items[s.pos..end]);
+        self.len -= end - s.pos;
+        s.pos = end;
+        if end == s.items.len() {
+            let buf = std::mem::take(&mut self.slots[slot].items);
+            self.recycle(buf);
+            self.slots[slot].pos = 0;
+            self.free.push(slot);
+            metrics().live_runs.dec();
+        }
+        self.update(slot);
+        Some(out)
+    }
+
     /// Drop all remaining items, recycling every buffer. Used at a
     /// simulation horizon to truncate the tail.
     pub fn clear(&mut self) {
@@ -330,6 +391,88 @@ mod tests {
         // and the merge is still usable afterwards
         m.push(vec![(SimTime::from_secs(3), 42)]);
         assert_eq!(drain(&mut m), vec![(SimTime::from_secs(3), 42)]);
+    }
+
+    fn drain_batched<T: Clone>(m: &mut RunMerge<T>, upto: SimTime) -> (Vec<(SimTime, T)>, Vec<usize>) {
+        let mut out = Vec::new();
+        let mut lens = Vec::new();
+        while let Some(n) = m.next_run_upto(upto, |batch| {
+            out.extend(batch.iter().map(|(t, v)| (*t, v.clone())));
+            batch.len()
+        }) {
+            lens.push(n);
+        }
+        (out, lens)
+    }
+
+    #[test]
+    fn batch_drain_yields_whole_run_when_uncontended() {
+        let mut m = RunMerge::new();
+        m.push(vec![(SimTime::from_secs(1), "a1"), (SimTime::from_secs(2), "a2"), (SimTime::from_secs(3), "a3")]);
+        m.push(vec![(SimTime::from_secs(10), "b1")]);
+        let (items, lens) = drain_batched(&mut m, SimTime::MAX);
+        assert_eq!(items.iter().map(|&(_, v)| v).collect::<Vec<_>>(), ["a1", "a2", "a3", "b1"]);
+        // run a is entirely before run b's head: one slice each
+        assert_eq!(lens, [3, 1]);
+    }
+
+    #[test]
+    fn batch_drain_respects_upto_bound() {
+        let mut m = RunMerge::new();
+        m.push(vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(5), 5), (SimTime::from_secs(9), 9)]);
+        let (items, _) = drain_batched(&mut m, SimTime::from_secs(5));
+        assert_eq!(items.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [1, 5]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.peek(), Some(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn batch_drain_splits_interleaved_runs_correctly() {
+        let mut m = RunMerge::new();
+        m.push(vec![(SimTime::from_secs(1), "a1"), (SimTime::from_secs(4), "a2")]);
+        m.push(vec![(SimTime::from_secs(2), "b1"), (SimTime::from_secs(3), "b2")]);
+        let (items, _) = drain_batched(&mut m, SimTime::MAX);
+        assert_eq!(items.iter().map(|&(_, v)| v).collect::<Vec<_>>(), ["a1", "b1", "b2", "a2"]);
+    }
+
+    #[test]
+    fn batch_drain_gives_ties_to_earlier_run() {
+        let mut m = RunMerge::new();
+        let t = SimTime::from_secs(5);
+        // run 0: head at t, tail past t. run 1: head at t. The tie at
+        // t goes to run 0, which may emit *through* t before run 1.
+        m.push(vec![(t, "a1"), (t, "a2"), (SimTime::from_secs(6), "a3")]);
+        m.push(vec![(t, "b1")]);
+        let (items, _) = drain_batched(&mut m, SimTime::MAX);
+        assert_eq!(items.iter().map(|&(_, v)| v).collect::<Vec<_>>(), ["a1", "a2", "b1", "a3"]);
+    }
+
+    /// Batch drain must reproduce `pop_with` order exactly — same
+    /// random-interleaving regime as the event-queue keystone below.
+    #[test]
+    fn batch_drain_matches_pop_order_under_random_interleaving() {
+        let mut rng = Rng::new(0xba7c4);
+        for _round in 0..20 {
+            let mut batched = RunMerge::new();
+            let mut popped = RunMerge::new();
+            for _ in 0..rng.below(40) {
+                let n = rng.below(12) as usize;
+                let mut run: Vec<(SimTime, u32)> =
+                    (0..n).map(|_| (SimTime::from_secs(rng.below(6)), rng.next_u32())).collect();
+                run.sort_by_key(|&(t, _)| t);
+                batched.push(run.clone());
+                popped.push(run);
+            }
+            // drain in upto-bounded slices to exercise the bound too
+            let mut got = Vec::new();
+            for upto_s in [1u64, 3, 6] {
+                let (items, _) = drain_batched(&mut batched, SimTime::from_secs(upto_s));
+                got.extend(items);
+            }
+            let want = drain(&mut popped);
+            assert_eq!(got, want);
+            assert!(batched.is_empty());
+        }
     }
 
     /// The determinism keystone: interleaved push/pop against the
